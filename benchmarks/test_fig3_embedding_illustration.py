@@ -1,0 +1,35 @@
+"""Fig. 3 reproduction: a 1-D random embedding recovers a 2-D optimum.
+
+The paper's illustration: a 2-D objective that depends only on ``x₁`` is
+searched along a random 1-D embedding line; the optimum found along the
+line matches the true 2-D optimum.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import embedding_illustration
+from repro.utils import render_table
+
+
+def test_fig3_embedding_illustration(benchmark):
+    result = run_once(benchmark, lambda: embedding_illustration(seed=3))
+    # print a sparse trace of the function along the embedding line
+    step = max(1, len(result.z) // 12)
+    rows = [
+        [f"{z:+.2f}", f"{x[0]:+.3f}", f"{x[1]:+.3f}", f"{y:.4f}"]
+        for z, x, y in zip(
+            result.z[::step], result.x_points[::step], result.y_along_embedding[::step]
+        )
+    ]
+    print()
+    print(
+        render_table(
+            ["z", "x1", "x2", "y(x)"],
+            rows,
+            title="Fig. 3 — objective along the random 1-D embedding",
+        )
+    )
+    print(
+        f"optimum along embedding: {result.y_optimum_embedded:.5f} "
+        f"(true 2-D optimum: {result.y_optimum_2d:.5f})"
+    )
+    assert result.y_optimum_embedded <= result.y_optimum_2d + 0.01

@@ -1,0 +1,43 @@
+"""LDO three-spec verification (paper Table 2 in miniature).
+
+Runs the proposed method against the pBO baseline on the 60-dimensional
+low-dropout-regulator testbench for all three specs (quiescent current,
+undershoot, load regulation), with the paper's batch structure scaled down
+(2 batches of 35 instead of 5 of 70) so the script finishes in a few
+minutes.  For the full-budget reproduction use
+``pytest benchmarks/test_table2_ldo.py --benchmark-only``.
+
+Run:  python examples/ldo_verification.py
+"""
+
+from repro.circuits.behavioral import LDOTestbench
+from repro.experiments import format_table, ldo_config, run_table
+
+
+def main() -> None:
+    testbench = LDOTestbench()
+    print(f"LDO testbench: {testbench.dim} variation parameters")
+    for name, spec in testbench.specs.items():
+        print(f"  spec {name}: {spec.name} < {spec.threshold}{spec.units}")
+    print()
+
+    cfg = ldo_config(
+        n_init=30,
+        batch_size=35,
+        n_batches=2,
+        n_sequential=70,
+        mc_samples=5_000,
+        sss_samples_per_scale=80,
+    )
+    table = run_table(
+        testbench,
+        cfg,
+        methods=("MC", "pBO", "This work"),
+        verbose=True,
+    )
+    print()
+    print(format_table(table, title="LDO verification (60 dimensions, reduced budgets)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Acquisition functions and their optimization (paper Sections 2.2.2, 5.1)."""
+
+from repro.acquisition.base import AcquisitionFunction
+from repro.acquisition.functions import (
+    ExpectedImprovement,
+    LowerConfidenceBound,
+    ProbabilityOfImprovement,
+    WeightedAcquisition,
+    pbo_weights,
+)
+from repro.acquisition.optimize import (
+    default_acquisition_optimizer,
+    optimize_acquisition,
+)
+
+__all__ = [
+    "AcquisitionFunction",
+    "ProbabilityOfImprovement",
+    "ExpectedImprovement",
+    "LowerConfidenceBound",
+    "WeightedAcquisition",
+    "pbo_weights",
+    "optimize_acquisition",
+    "default_acquisition_optimizer",
+]

@@ -1,0 +1,97 @@
+"""The paper's acquisition functions: PI, EI, LCB and the pBO weighting.
+
+All are written for *minimization* of the objective (circuit performance);
+lower acquisition values are better.  ``WeightedAcquisition`` implements
+Eq. 9, ``α_pBO(x; D, w) = (1 - w) μ(x; D) − w σ(x; D)``: ``w = 0`` is pure
+exploitation of the posterior mean, ``w = 1`` pure exploration of posterior
+uncertainty, and a batch of different ``w`` values yields the paper's
+parallelizable multi-acquisition batch (Algorithm 1, line 7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.stats import norm
+
+from repro.acquisition.base import AcquisitionFunction
+from repro.gp.model import GaussianProcess
+from repro.utils.validation import as_matrix
+
+#: Floor on the posterior std to keep z-scores finite at training points.
+_MIN_STD = 1e-12
+
+
+class ProbabilityOfImprovement(AcquisitionFunction):
+    """Negated probability of improving below the incumbent minus ``xi``."""
+
+    def __init__(self, gp: GaussianProcess, xi: float = 0.0) -> None:
+        super().__init__(gp)
+        if xi < 0:
+            raise ValueError(f"xi must be non-negative, got {xi}")
+        self.xi = float(xi)
+
+    def evaluate(self, X: np.ndarray) -> np.ndarray:
+        pred = self.gp.predict(as_matrix(X))
+        std = np.maximum(pred.std, _MIN_STD)
+        z = (self.incumbent - self.xi - pred.mean) / std
+        return -norm.cdf(z)
+
+
+class ExpectedImprovement(AcquisitionFunction):
+    """Negated expected improvement below the incumbent minus ``xi``."""
+
+    def __init__(self, gp: GaussianProcess, xi: float = 0.0) -> None:
+        super().__init__(gp)
+        if xi < 0:
+            raise ValueError(f"xi must be non-negative, got {xi}")
+        self.xi = float(xi)
+
+    def evaluate(self, X: np.ndarray) -> np.ndarray:
+        pred = self.gp.predict(as_matrix(X))
+        std = np.maximum(pred.std, _MIN_STD)
+        improvement = self.incumbent - self.xi - pred.mean
+        z = improvement / std
+        ei = improvement * norm.cdf(z) + std * norm.pdf(z)
+        return -np.maximum(ei, 0.0)
+
+
+class LowerConfidenceBound(AcquisitionFunction):
+    """``μ(x) − κ σ(x)``, minimized directly."""
+
+    def __init__(self, gp: GaussianProcess, kappa: float = 2.0) -> None:
+        super().__init__(gp)
+        if kappa < 0:
+            raise ValueError(f"kappa must be non-negative, got {kappa}")
+        self.kappa = float(kappa)
+
+    def evaluate(self, X: np.ndarray) -> np.ndarray:
+        pred = self.gp.predict(as_matrix(X))
+        return pred.mean - self.kappa * pred.std
+
+
+class WeightedAcquisition(AcquisitionFunction):
+    """The pBO acquisition of Eq. 9: ``(1 − w) μ(x) − w σ(x)``."""
+
+    def __init__(self, gp: GaussianProcess, weight: float) -> None:
+        super().__init__(gp)
+        if not 0.0 <= weight <= 1.0:
+            raise ValueError(f"weight must lie in [0, 1], got {weight}")
+        self.weight = float(weight)
+
+    def evaluate(self, X: np.ndarray) -> np.ndarray:
+        pred = self.gp.predict(as_matrix(X))
+        return (1.0 - self.weight) * pred.mean - self.weight * pred.std
+
+
+def pbo_weights(batch_size: int) -> np.ndarray:
+    """The preset weight ladder ``w_1 … w_{n_b}`` for a pBO batch.
+
+    Evenly spaced over ``[0, 1]`` so one batch spans pure exploitation to
+    pure exploration, as the multi-acquisition scheme of [5] intends.  A
+    batch of one degenerates to the balanced ``w = 0.5``.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if batch_size == 1:
+        return np.array([0.5])
+    return np.linspace(0.0, 1.0, batch_size)

@@ -1,0 +1,31 @@
+"""Bayesian-optimization engines for failure detection (paper Sections 2, 4).
+
+* :class:`SequentialBO` — classic EI/PI/LCB baseline BO in the full space.
+* :class:`BatchBO` — the pBO multi-weight batch baseline [5].
+* :class:`RemboBO` — the proposed random-embedding batch BO (Algorithm 1).
+* :class:`Specification` / :class:`RunResult` — spec folding and run logs.
+"""
+
+from repro.bo.batch import BatchBO
+from repro.bo.engine import (
+    SurrogateManager,
+    default_kernel_factory,
+    uniform_initial_design,
+)
+from repro.bo.loop import ACQUISITIONS, SequentialBO
+from repro.bo.records import FailureSummary, RunResult
+from repro.bo.rembo import RemboBO
+from repro.bo.spec import Specification
+
+__all__ = [
+    "SequentialBO",
+    "BatchBO",
+    "RemboBO",
+    "Specification",
+    "RunResult",
+    "FailureSummary",
+    "SurrogateManager",
+    "uniform_initial_design",
+    "default_kernel_factory",
+    "ACQUISITIONS",
+]

@@ -1,0 +1,95 @@
+"""Shared plumbing for the BO engines: surrogate management, initial design.
+
+The engines differ only in how they propose points (single-acquisition
+sequential, multi-weight batch, or batch-through-embedding); GP fitting,
+label standardization and hyperparameter tuning cadence are identical and
+live here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.gp.hyperopt import fit_hyperparameters
+from repro.gp.model import GaussianProcess
+from repro.gp.standardize import Standardizer
+from repro.kernels.stationary import Matern52
+from repro.optim.base import Optimizer
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import as_matrix, as_vector, check_bounds
+
+KernelFactory = Callable[[int], object]
+OptimizerFactory = Callable[[int], Optimizer]
+
+
+def default_kernel_factory(dim: int):
+    """Matérn-5/2 with ARD, the usual BO default (paper cites both SE and Matérn)."""
+    return Matern52(dim=dim, ard=True)
+
+
+def uniform_initial_design(
+    bounds, n_init: int, seed: SeedLike = None
+) -> np.ndarray:
+    """Uniform initial samples in a box (the paper's initial dataset D_0)."""
+    lower, upper = check_bounds(bounds)
+    if n_init < 1:
+        raise ValueError(f"n_init must be >= 1, got {n_init}")
+    rng = as_generator(seed)
+    return rng.uniform(lower, upper, size=(n_init, lower.shape[0]))
+
+
+class SurrogateManager:
+    """Owns the GP surrogate: standardization, refits and tuning cadence.
+
+    Parameters
+    ----------
+    dim:
+        Dimensionality the GP operates in (D for plain BO, d for REMBO).
+    kernel_factory / noise_variance:
+        Surrogate construction knobs.
+    tune_every:
+        Re-optimize hyperparameters every ``tune_every`` refits (1 = always).
+    n_restarts:
+        Multi-start count for each hyperparameter fit.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        kernel_factory: KernelFactory | None = None,
+        noise_variance: float = 1e-4,
+        tune_every: int = 1,
+        n_restarts: int = 2,
+        seed: SeedLike = None,
+    ) -> None:
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        if tune_every < 1:
+            raise ValueError(f"tune_every must be >= 1, got {tune_every}")
+        self.dim = int(dim)
+        self._kernel_factory = kernel_factory or default_kernel_factory
+        self._noise_variance = float(noise_variance)
+        self.tune_every = int(tune_every)
+        self.n_restarts = int(n_restarts)
+        self._rng = as_generator(seed)
+        self.standardizer = Standardizer()
+        self.gp: GaussianProcess | None = None
+        self._refit_count = 0
+
+    def refit(self, X, y) -> GaussianProcess:
+        """(Re)train the surrogate on the full dataset in model space."""
+        X = as_matrix(X, self.dim)
+        y = as_vector(y, X.shape[0])
+        y_std = self.standardizer.fit_transform(y)
+        if self.gp is None:
+            self.gp = GaussianProcess(
+                self._kernel_factory(self.dim),
+                noise_variance=self._noise_variance,
+            )
+        self.gp.fit(X, y_std)
+        if self._refit_count % self.tune_every == 0:
+            fit_hyperparameters(self.gp, n_restarts=self.n_restarts, seed=self._rng)
+        self._refit_count += 1
+        return self.gp

@@ -1,0 +1,21 @@
+"""Circuit substrates: behavioral testbenches and the MNA simulator.
+
+``repro.circuits.behavioral`` holds the calibrated UVLO and LDO models the
+benchmark tables run on; ``repro.circuits.mna`` is a from-scratch
+SPICE-style engine (netlist, nonlinear DC, transient, sweep) with
+transistor-level demo versions of both circuits.
+"""
+
+from repro.circuits.behavioral import (
+    CircuitTestbench,
+    LDOTestbench,
+    UVLOTestbench,
+    VariationParameter,
+)
+
+__all__ = [
+    "CircuitTestbench",
+    "VariationParameter",
+    "UVLOTestbench",
+    "LDOTestbench",
+]

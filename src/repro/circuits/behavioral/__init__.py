@@ -1,0 +1,17 @@
+"""Calibrated behavioral testbenches for the paper's two circuits."""
+
+from repro.circuits.behavioral.base import (
+    CircuitTestbench,
+    VariationParameter,
+    soft_step,
+)
+from repro.circuits.behavioral.ldo import LDOTestbench
+from repro.circuits.behavioral.uvlo import UVLOTestbench
+
+__all__ = [
+    "CircuitTestbench",
+    "VariationParameter",
+    "soft_step",
+    "UVLOTestbench",
+    "LDOTestbench",
+]

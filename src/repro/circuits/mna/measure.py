@@ -1,0 +1,67 @@
+"""Waveform measurements used by the MNA testbenches.
+
+Small, dependency-free post-processing of sweep/transient waveforms:
+threshold crossings (with linear interpolation), undershoot/overshoot and
+settling checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def threshold_crossings(
+    x: np.ndarray, wave: np.ndarray, level: float, direction: str = "rising"
+) -> np.ndarray:
+    """Interpolated ``x`` positions where ``wave`` crosses ``level``.
+
+    ``direction`` is ``"rising"``, ``"falling"`` or ``"both"``.
+    """
+    x = np.asarray(x, dtype=float)
+    wave = np.asarray(wave, dtype=float)
+    if x.shape != wave.shape or x.ndim != 1:
+        raise ValueError("x and wave must be 1-D arrays of equal length")
+    if direction not in ("rising", "falling", "both"):
+        raise ValueError(f"unknown direction {direction!r}")
+    above = wave >= level
+    flips = np.flatnonzero(above[1:] != above[:-1])
+    crossings = []
+    for i in flips:
+        rising = not above[i]
+        if direction == "rising" and not rising:
+            continue
+        if direction == "falling" and rising:
+            continue
+        # linear interpolation between samples i and i+1
+        w0, w1 = wave[i], wave[i + 1]
+        frac = (level - w0) / (w1 - w0)
+        crossings.append(x[i] + frac * (x[i + 1] - x[i]))
+    return np.asarray(crossings)
+
+
+def undershoot(wave: np.ndarray, nominal: float) -> float:
+    """Maximum droop of ``wave`` below ``nominal`` (non-negative)."""
+    wave = np.asarray(wave, dtype=float)
+    return float(max(nominal - wave.min(), 0.0))
+
+
+def overshoot(wave: np.ndarray, nominal: float) -> float:
+    """Maximum excursion of ``wave`` above ``nominal`` (non-negative)."""
+    wave = np.asarray(wave, dtype=float)
+    return float(max(wave.max() - nominal, 0.0))
+
+
+def settles_within(
+    time: np.ndarray,
+    wave: np.ndarray,
+    target: float,
+    tolerance: float,
+    after: float = 0.0,
+) -> bool:
+    """True when the waveform stays within ``target ± tolerance`` past ``after``."""
+    time = np.asarray(time, dtype=float)
+    wave = np.asarray(wave, dtype=float)
+    mask = time >= after
+    if not np.any(mask):
+        raise ValueError("no samples after the requested settle start")
+    return bool(np.all(np.abs(wave[mask] - target) <= tolerance))

@@ -1,0 +1,149 @@
+"""Level-1 (square-law) MOSFET with Newton companion-model stamping.
+
+The classic SPICE level-1 equations with channel-length modulation:
+
+* cutoff   (``v_gs ≤ V_th``):  ``I_D = 0``
+* triode   (``v_ds < v_gs − V_th``):
+  ``I_D = k (W/L) ((v_gs − V_th) v_ds − v_ds²/2)(1 + λ v_ds)``
+* saturation:
+  ``I_D = (k/2)(W/L)(v_gs − V_th)²(1 + λ v_ds)``
+
+Polarity handling covers PMOS through sign folding, and the device is
+treated as symmetric: when the model-polarity ``v_ds`` goes negative the
+drain and source roles swap.  A small off-conductance keeps the Jacobian
+nonsingular in cutoff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.mna.elements import Element
+from repro.circuits.mna.netlist import MNASystem, StampContext
+
+#: Conductance floor (cutoff leakage) to keep the Newton Jacobian regular.
+_G_OFF = 1e-9
+
+
+@dataclass(frozen=True)
+class MOSParams:
+    """Level-1 parameter set (SI units; ``kp`` is μ·Cox in A/V²)."""
+
+    vth: float = 0.5
+    kp: float = 2e-4
+    w: float = 10e-6
+    l: float = 1e-6
+    lambda_: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.kp <= 0 or self.w <= 0 or self.l <= 0:
+            raise ValueError("kp, w and l must be positive")
+        if self.lambda_ < 0:
+            raise ValueError("lambda_ must be non-negative")
+
+    @property
+    def beta(self) -> float:
+        """The gain factor ``kp · W / L``."""
+        return self.kp * self.w / self.l
+
+    def scaled(self, dl: float = 0.0, dvth: float = 0.0, dkp: float = 0.0) -> "MOSParams":
+        """A process-varied copy: fractional ΔL, absolute ΔVth, fractional Δkp."""
+        return MOSParams(
+            vth=self.vth + dvth,
+            kp=self.kp * (1.0 + dkp),
+            w=self.w,
+            l=self.l * (1.0 + dl),
+            lambda_=self.lambda_ / max(1.0 + dl, 1e-6),
+        )
+
+
+def level1_current(params: MOSParams, vgs: float, vds: float) -> tuple[float, float, float]:
+    """``(I_D, gm, gds)`` of the NMOS-polarity level-1 model at ``vgs, vds ≥ 0``."""
+    vov = vgs - params.vth
+    beta = params.beta
+    clm = 1.0 + params.lambda_ * vds
+    if vov <= 0.0:
+        return 0.0, 0.0, _G_OFF
+    if vds < vov:  # triode
+        i_d = beta * (vov * vds - 0.5 * vds**2) * clm
+        gm = beta * vds * clm
+        gds = (
+            beta * (vov - vds) * clm
+            + beta * (vov * vds - 0.5 * vds**2) * params.lambda_
+        )
+    else:  # saturation
+        i_d = 0.5 * beta * vov**2 * clm
+        gm = beta * vov * clm
+        gds = 0.5 * beta * vov**2 * params.lambda_
+    return i_d, gm, max(gds, _G_OFF)
+
+
+class MOSFET(Element):
+    """Three-terminal (D, G, S) level-1 MOSFET, NMOS or PMOS."""
+
+    def __init__(
+        self,
+        name: str,
+        drain: str,
+        gate: str,
+        source: str,
+        params: MOSParams | None = None,
+        polarity: str = "nmos",
+    ) -> None:
+        if polarity not in ("nmos", "pmos"):
+            raise ValueError(f"{name}: polarity must be 'nmos' or 'pmos'")
+        super().__init__(name, drain, gate, source)
+        self.params = params if params is not None else MOSParams()
+        self.sign = 1.0 if polarity == "nmos" else -1.0
+        self.polarity = polarity
+
+    def _voltages(self, x: np.ndarray) -> tuple[float, float, float]:
+        d, g, s = self.nodes
+        vd = 0.0 if d < 0 else float(x[d])
+        vg = 0.0 if g < 0 else float(x[g])
+        vs = 0.0 if s < 0 else float(x[s])
+        return vd, vg, vs
+
+    def operating_point(self, x: np.ndarray) -> dict[str, float]:
+        """Model-polarity ``vgs``, ``vds``, drain current and small-signal gains."""
+        vd, vg, vs = self._voltages(x)
+        vgs = self.sign * (vg - vs)
+        vds = self.sign * (vd - vs)
+        swapped = vds < 0.0
+        if swapped:  # symmetric device: exchange drain and source roles
+            vgs = vgs - vds
+            vds = -vds
+        i_d, gm, gds = level1_current(self.params, vgs, vds)
+        return {
+            "vgs": vgs,
+            "vds": vds,
+            "id": i_d,
+            "gm": gm,
+            "gds": gds,
+            "swapped": float(swapped),
+            "saturated": float(vds >= max(vgs - self.params.vth, 0.0)),
+        }
+
+    def stamp(self, system: MNASystem, ctx: StampContext) -> None:
+        d, g, s = self.nodes
+        op = self.operating_point(ctx.x)
+        if op["swapped"]:
+            d, s = s, d
+        gm, gds = op["gm"], op["gds"]
+        # actual terminal current out of the (effective) drain node
+        vd, vg_, vs = self._voltages(ctx.x)
+        if op["swapped"]:
+            vd, vs = vs, vd
+        # linearization in raw node voltages: the sign folding cancels in
+        # the derivatives, so gm/gds stamp with NMOS orientation on the
+        # effective terminals
+        i_actual = self.sign * op["id"]
+        i_eq = i_actual - gm * (vg_ - vs) - gds * (vd - vs)
+        system.add_transconductance(d, s, g, s, gm)
+        system.add_conductance(d, s, gds)
+        if d >= 0:
+            system.rhs[d] -= i_eq
+        if s >= 0:
+            system.rhs[s] += i_eq

@@ -1,0 +1,162 @@
+"""Netlist container and the MNA system assembled from it.
+
+Modified nodal analysis: unknowns are the non-ground node voltages plus one
+branch current per voltage-source-like element.  Nonlinear devices stamp
+linearized companion models around the present solution estimate, so the
+same assembly routine serves DC Newton iterations and transient steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+GROUND = "0"
+
+
+@dataclass
+class StampContext:
+    """Everything an element may need while stamping.
+
+    Attributes
+    ----------
+    x:
+        Present solution estimate ``[v_nodes..., i_branches...]``.
+    mode:
+        ``"dc"`` or ``"tran"``.
+    time / dt:
+        Transient time point and step (0 for DC).
+    x_prev:
+        Previous accepted transient solution (None in DC).
+    source_scale:
+        Multiplier on independent sources, used by source-stepping
+        continuation (1.0 in normal operation).
+    gmin:
+        Shunt conductance added from every device node to ground by the
+        devices that request it (gmin-stepping continuation).
+    """
+
+    x: np.ndarray
+    mode: str = "dc"
+    time: float = 0.0
+    dt: float = 0.0
+    x_prev: np.ndarray | None = None
+    source_scale: float = 1.0
+    gmin: float = 0.0
+
+
+class MNASystem:
+    """The linear(ized) system ``G @ x = rhs`` being assembled."""
+
+    def __init__(self, n_nodes: int, n_branches: int) -> None:
+        size = n_nodes + n_branches
+        self.n_nodes = n_nodes
+        self.n_branches = n_branches
+        self.G = np.zeros((size, size))
+        self.rhs = np.zeros(size)
+
+    # node index -1 is ground: its row/column are simply dropped
+
+    def add_conductance(self, i: int, j: int, g: float) -> None:
+        """Stamp a two-terminal conductance between nodes ``i`` and ``j``."""
+        if i >= 0:
+            self.G[i, i] += g
+        if j >= 0:
+            self.G[j, j] += g
+        if i >= 0 and j >= 0:
+            self.G[i, j] -= g
+            self.G[j, i] -= g
+
+    def add_transconductance(
+        self, out_p: int, out_n: int, ctrl_p: int, ctrl_n: int, gm: float
+    ) -> None:
+        """Stamp a VCCS: current ``gm·(v_cp − v_cn)`` from ``out_p`` to ``out_n``."""
+        for out, sign_out in ((out_p, 1.0), (out_n, -1.0)):
+            if out < 0:
+                continue
+            if ctrl_p >= 0:
+                self.G[out, ctrl_p] += sign_out * gm
+            if ctrl_n >= 0:
+                self.G[out, ctrl_n] -= sign_out * gm
+
+    def add_current(self, i: int, value: float) -> None:
+        """Inject ``value`` amps *into* node ``i``."""
+        if i >= 0:
+            self.rhs[i] += value
+
+    def branch_row(self, branch: int) -> int:
+        return self.n_nodes + branch
+
+
+class Circuit:
+    """A flat netlist: named nodes plus a list of element instances."""
+
+    def __init__(self, title: str = "") -> None:
+        self.title = title
+        self._node_index: dict[str, int] = {}
+        self.elements: list = []
+        self._n_branches = 0
+
+    # -- topology ------------------------------------------------------------
+
+    def node(self, name: str) -> int:
+        """Return (creating on first use) the index of node ``name``.
+
+        The ground node ``"0"`` (alias ``"gnd"``) maps to index ``-1``.
+        """
+        if name in (GROUND, "gnd", "GND"):
+            return -1
+        if name not in self._node_index:
+            self._node_index[name] = len(self._node_index)
+        return self._node_index[name]
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._node_index)
+
+    @property
+    def n_branches(self) -> int:
+        return self._n_branches
+
+    @property
+    def size(self) -> int:
+        return self.n_nodes + self._n_branches
+
+    def node_names(self) -> list[str]:
+        names = [""] * self.n_nodes
+        for name, idx in self._node_index.items():
+            names[idx] = name
+        return names
+
+    def add(self, element):
+        """Register an element; resolves its node names and branch index."""
+        element.bind(self)
+        if element.N_BRANCHES:
+            element.branch = self._n_branches
+            self._n_branches += element.N_BRANCHES
+        self.elements.append(element)
+        return element
+
+    # -- assembly ------------------------------------------------------------
+
+    def assemble(self, ctx: StampContext) -> MNASystem:
+        """Build the MNA system at the linearization point in ``ctx``."""
+        system = MNASystem(self.n_nodes, self._n_branches)
+        if ctx.gmin > 0.0:
+            for i in range(self.n_nodes):
+                system.G[i, i] += ctx.gmin
+        for element in self.elements:
+            element.stamp(system, ctx)
+        return system
+
+    def voltage(self, x: np.ndarray, name: str) -> float:
+        """Node voltage of ``name`` in a solution vector (0.0 for ground)."""
+        idx = self.node(name)
+        return 0.0 if idx < 0 else float(x[idx])
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit({self.title!r}, nodes={self.n_nodes}, "
+            f"elements={len(self.elements)})"
+        )

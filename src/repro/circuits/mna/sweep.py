@@ -1,0 +1,56 @@
+"""DC sweep of an independent source, with operating-point continuation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.mna.dc import DCSolution, solve_dc
+from repro.circuits.mna.elements import VoltageSource
+from repro.circuits.mna.netlist import Circuit
+
+
+@dataclass
+class SweepResult:
+    """All operating points of a DC sweep."""
+
+    circuit: Circuit
+    values: np.ndarray
+    states: np.ndarray  # (n_points, circuit.size)
+
+    def voltage(self, node: str) -> np.ndarray:
+        idx = self.circuit.node(node)
+        if idx < 0:
+            return np.zeros(self.values.shape[0])
+        return self.states[:, idx]
+
+
+def sweep_source(
+    circuit: Circuit,
+    source: VoltageSource,
+    values,
+    **solve_kwargs,
+) -> SweepResult:
+    """Sweep ``source`` over ``values``, warm-starting each point.
+
+    Warm starting from the previous operating point both speeds the solve
+    and tracks the correct branch through hysteretic regions (sweeping up
+    versus down a Schmitt-trigger input lands on different states, which is
+    exactly how the UVLO thresholds are measured).
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1 or values.size == 0:
+        raise ValueError("values must be a non-empty 1-D array")
+    original = source.value
+    states = np.empty((values.size, circuit.size))
+    x_prev: np.ndarray | None = None
+    try:
+        for i, value in enumerate(values):
+            source.value = float(value)
+            solution: DCSolution = solve_dc(circuit, x0=x_prev, **solve_kwargs)
+            states[i] = solution.x
+            x_prev = solution.x
+    finally:
+        source.value = original
+    return SweepResult(circuit, values.copy(), states)

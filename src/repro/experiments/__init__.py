@@ -1,0 +1,49 @@
+"""Experiment harness: table/figure runners mirroring the paper's Section 5."""
+
+from repro.experiments.ablation import (
+    AblationRow,
+    acquisition_weight_ablation,
+    embedding_dimension_sweep,
+    kernel_ablation,
+    projection_ablation,
+)
+from repro.experiments.config import ExperimentConfig, ldo_config, uvlo_config
+from repro.experiments.figures import (
+    DimensionSelectionCurve,
+    EmbeddingIllustration,
+    OptimizerScalingResult,
+    dimension_selection_curve,
+    embedding_illustration,
+    optimizer_scaling,
+)
+from repro.experiments.methods import METHOD_ORDER, run_method, shared_initial_data
+from repro.experiments.tables import (
+    TableResult,
+    TableRow,
+    format_table,
+    run_table,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "uvlo_config",
+    "ldo_config",
+    "METHOD_ORDER",
+    "run_method",
+    "shared_initial_data",
+    "run_table",
+    "format_table",
+    "TableResult",
+    "TableRow",
+    "optimizer_scaling",
+    "OptimizerScalingResult",
+    "embedding_illustration",
+    "EmbeddingIllustration",
+    "dimension_selection_curve",
+    "DimensionSelectionCurve",
+    "AblationRow",
+    "embedding_dimension_sweep",
+    "acquisition_weight_ablation",
+    "kernel_ablation",
+    "projection_ablation",
+]

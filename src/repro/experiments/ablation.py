@@ -1,0 +1,184 @@
+"""Ablation studies on the design choices DESIGN.md calls out.
+
+Each function runs a small controlled comparison on a testbench spec and
+returns rows for the benchmark harness:
+
+* :func:`embedding_dimension_sweep` — Algorithm 2's pick versus over- and
+  under-compressed embedding dimensions (DESIGN choice 1).
+* :func:`acquisition_weight_ablation` — the multi-weight pBO batch versus
+  a single-weight LCB batch (DESIGN choice 2).
+* :func:`projection_ablation` — the clip projection ``p_Ω`` versus
+  rejecting out-of-box images (DESIGN choice 3).
+* :func:`kernel_ablation` — ARD versus isotropic kernels in the embedded
+  space (DESIGN choice 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.acquisition.optimize import default_acquisition_optimizer
+from repro.bo.records import RunResult
+from repro.bo.rembo import RemboBO
+from repro.circuits.behavioral.base import CircuitTestbench
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.methods import shared_initial_data
+from repro.kernels.stationary import Matern52
+
+
+@dataclass
+class AblationRow:
+    """One variant's outcome."""
+
+    variant: str
+    worst_value: float
+    n_failures: int
+    first_failure_index: int | None
+    runtime_seconds: float
+
+
+def _summary_row(variant: str, result: RunResult, threshold: float) -> AblationRow:
+    summary = result.summarize(threshold)
+    return AblationRow(
+        variant=variant,
+        worst_value=result.best_y,
+        n_failures=summary.n_failures,
+        first_failure_index=summary.first_failure_index,
+        runtime_seconds=result.runtime_seconds,
+    )
+
+
+def _run_rembo(
+    testbench: CircuitTestbench,
+    spec_name: str,
+    cfg: ExperimentConfig,
+    initial_data,
+    **overrides,
+) -> RunResult:
+    kwargs = dict(
+        batch_size=cfg.batch_size,
+        embedding_dim=cfg.embedding_dim,
+        kernel_factory=cfg.kernel_factory(),
+        noise_variance=cfg.noise_variance,
+        tune_every=cfg.tune_every_batch,
+        acquisition_optimizer_factory=lambda dim: default_acquisition_optimizer(
+            dim, global_budget=cfg.global_budget, local_budget=cfg.local_budget
+        ),
+        seed=cfg.seed,
+    )
+    kwargs.update(overrides)
+    engine = RemboBO(**kwargs)
+    return engine.run(
+        testbench.objective(spec_name),
+        testbench.bounds(),
+        n_batches=cfg.n_batches,
+        threshold=testbench.threshold(spec_name),
+        initial_data=initial_data,
+    )
+
+
+def embedding_dimension_sweep(
+    testbench: CircuitTestbench,
+    spec_name: str,
+    cfg: ExperimentConfig,
+    dims=None,
+) -> list[AblationRow]:
+    """Run the proposed method at several fixed embedding dimensions."""
+    if dims is None:
+        base = cfg.embedding_dim or 8
+        dims = sorted({max(2, base // 4), max(2, base // 2), base, min(testbench.dim, base * 2)})
+    initial = shared_initial_data(testbench, spec_name, cfg)
+    threshold = testbench.threshold(spec_name)
+    rows = []
+    for d in dims:
+        result = _run_rembo(
+            testbench, spec_name, cfg, initial, embedding_dim=int(d)
+        )
+        rows.append(_summary_row(f"d={d}", result, threshold))
+    return rows
+
+
+def acquisition_weight_ablation(
+    testbench: CircuitTestbench,
+    spec_name: str,
+    cfg: ExperimentConfig,
+) -> list[AblationRow]:
+    """Multi-weight pBO ladder versus a single repeated LCB-style weight."""
+    initial = shared_initial_data(testbench, spec_name, cfg)
+    threshold = testbench.threshold(spec_name)
+    multi = _run_rembo(testbench, spec_name, cfg, initial)
+    single = _run_rembo(
+        testbench,
+        spec_name,
+        cfg,
+        initial,
+        weights=np.full(cfg.batch_size, 0.5),
+    )
+    return [
+        _summary_row("multi-weight ladder", multi, threshold),
+        _summary_row("single weight w=0.5", single, threshold),
+    ]
+
+
+def kernel_ablation(
+    testbench: CircuitTestbench,
+    spec_name: str,
+    cfg: ExperimentConfig,
+) -> list[AblationRow]:
+    """ARD versus isotropic Matérn-5/2 in the embedded space."""
+    initial = shared_initial_data(testbench, spec_name, cfg)
+    threshold = testbench.threshold(spec_name)
+    iso = _run_rembo(
+        testbench, spec_name, cfg, initial,
+        kernel_factory=lambda dim: Matern52(dim=dim),
+    )
+    ard = _run_rembo(
+        testbench, spec_name, cfg, initial,
+        kernel_factory=lambda dim: Matern52(dim=dim, ard=True),
+    )
+    return [
+        _summary_row("isotropic Matern-5/2", iso, threshold),
+        _summary_row("ARD Matern-5/2", ard, threshold),
+    ]
+
+
+def projection_ablation(
+    testbench: CircuitTestbench,
+    spec_name: str,
+    cfg: ExperimentConfig,
+) -> list[AblationRow]:
+    """Clip projection ``p_Ω`` versus ray-rescaling out-of-box images.
+
+    Ray rescaling maps ``A z`` outside Ω to the boundary point along the
+    ray from the origin, ``x = A z / ‖A z‖_∞`` — it keeps iterates inside
+    Ω but destroys the coordinate-wise saturation (corner concentration)
+    that clipping provides.
+    """
+    initial = shared_initial_data(testbench, spec_name, cfg)
+    threshold = testbench.threshold(spec_name)
+    clip = _run_rembo(testbench, spec_name, cfg, initial)
+
+    from repro.embedding.random_embedding import RandomEmbedding
+
+    original_to_original = RandomEmbedding.to_original
+
+    def ray_rescaled(self, Z):
+        Z_arr = np.asarray(Z, dtype=float)
+        single = Z_arr.ndim == 1
+        Z_mat = Z_arr[None, :] if single else Z_arr
+        raw = Z_mat @ self.matrix.T
+        scale = np.maximum(np.abs(raw).max(axis=1, keepdims=True), 1.0)
+        X = raw / scale
+        return X[0] if single else X
+
+    RandomEmbedding.to_original = ray_rescaled
+    try:
+        rescale = _run_rembo(testbench, spec_name, cfg, initial)
+    finally:
+        RandomEmbedding.to_original = original_to_original
+    return [
+        _summary_row("clip projection p_Omega", clip, threshold),
+        _summary_row("ray rescaling", rescale, threshold),
+    ]

@@ -1,0 +1,115 @@
+"""Experiment configurations mirroring the paper's Section 5 setups.
+
+Budgets follow the paper exactly for the BO family (5+5×19 for the UVLO,
+50+5×70 for the LDO); the pure-sampling budgets (MC 20 000 / 649 000,
+SSS 1 000 / 6 000) default to scaled-down counts so a table regenerates in
+minutes, with the original ratios preserved and the scaling recorded in
+the output.  Use :meth:`ExperimentConfig.scaled` to shrink everything for
+smoke runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.kernels.stationary import Matern52
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs for one table reproduction."""
+
+    #: Initial (shared) simulation samples for every BO method.
+    n_init: int
+    #: Sequential budget of single-point BO (EI/PI/LCB).
+    n_sequential: int
+    #: Batch size and batch count of pBO and the proposed method.
+    batch_size: int
+    n_batches: int
+    #: Monte-Carlo simulation budget.
+    mc_samples: int
+    #: SSS simulations per sigma scale (scales fixed at the ladder below).
+    sss_samples_per_scale: int
+    sss_scales: tuple[float, ...] = (1.0, 1.5, 2.0, 2.5, 3.0, 4.0)
+    #: Embedding dimension for the proposed method; None runs Algorithm 2.
+    embedding_dim: int | None = None
+    dimension_trials: int = 5
+    #: Fixed acquisition-evaluation caps (paper Section 3: capped to force
+    #: completion; identical for every BO method and every dimension).
+    global_budget: int = 400
+    local_budget: int = 150
+    #: Hyperparameter tuning cadence (sequential refits once per point, so
+    #: high-dimensional sequential BO tunes less often, as any practical
+    #: implementation must).
+    tune_every_sequential: int = 10
+    tune_every_batch: int = 1
+    #: Use ARD lengthscales ("ard") or a shared one ("iso", the BayesOpt
+    #: default the paper's baselines used).
+    kernel: str = "iso"
+    noise_variance: float = 1e-4
+    seed: int = 2019
+
+    def kernel_factory(self):
+        if self.kernel == "iso":
+            return lambda dim: Matern52(dim=dim)
+        if self.kernel == "ard":
+            return lambda dim: Matern52(dim=dim, ard=True)
+        raise ValueError(f"unknown kernel {self.kernel!r}")
+
+    @property
+    def bo_budget(self) -> int:
+        """Total simulations of a sequential BO run."""
+        return self.n_init + self.n_sequential
+
+    def scaled(self, factor: float) -> "ExperimentConfig":
+        """Shrink the sampling budgets (BO budgets stay paper-exact)."""
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        return replace(
+            self,
+            mc_samples=max(20, int(self.mc_samples * factor)),
+            sss_samples_per_scale=max(
+                10, int(self.sss_samples_per_scale * factor)
+            ),
+        )
+
+
+def uvlo_config(**overrides) -> ExperimentConfig:
+    """Table 1 setup: 19-D UVLO, 5 init + 95 sequential / 5×19 batches.
+
+    The paper's MC budget is 20 000 (kept); SSS is 1 000 across its scale
+    ladder.
+    """
+    defaults = dict(
+        n_init=5,
+        n_sequential=95,
+        batch_size=19,
+        n_batches=5,
+        mc_samples=20_000,
+        sss_samples_per_scale=166,  # ≈ 1000 total over 6 scales
+        embedding_dim=8,  # the paper's d̃_UVLO
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+def ldo_config(**overrides) -> ExperimentConfig:
+    """Table 2 setup: 60-D LDO, 50 init + 350 sequential / 5×70 batches.
+
+    The paper's MC budget is 649 000; the default here is 50 000 (13×
+    smaller, ratio recorded in the harness output) so the full table
+    regenerates in minutes.
+    """
+    defaults = dict(
+        n_init=50,
+        n_sequential=350,
+        batch_size=70,
+        n_batches=5,
+        mc_samples=50_000,
+        sss_samples_per_scale=500,  # ≈ 3000 total over 6 scales
+        embedding_dim=30,  # the paper's d̃_LDO
+
+        tune_every_sequential=25,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)

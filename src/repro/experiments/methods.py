@@ -1,0 +1,130 @@
+"""Method registry: every row of the paper's Tables 1-2 as a runnable.
+
+``run_method(name, ...)`` executes one (method, spec) cell and returns the
+full :class:`RunResult`; ``METHOD_ORDER`` fixes the paper's row order.  All
+BO methods share the same initial dataset (as the paper's setups do) and
+the same acquisition-evaluation caps; the proposed method differs only by
+operating through the random embedding.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.acquisition.optimize import default_acquisition_optimizer
+from repro.bo.batch import BatchBO
+from repro.bo.loop import SequentialBO
+from repro.bo.records import RunResult
+from repro.bo.rembo import RemboBO
+from repro.circuits.behavioral.base import CircuitTestbench
+from repro.experiments.config import ExperimentConfig
+from repro.sampling.monte_carlo import MonteCarloSampler
+from repro.sampling.sss import ScaledSigmaSampler
+
+#: Paper row order in Tables 1-2.
+METHOD_ORDER = ("MC", "SSS", "EI", "PI", "LCB", "pBO", "This work")
+
+
+def _acq_factory(cfg: ExperimentConfig) -> Callable:
+    return lambda dim: default_acquisition_optimizer(
+        dim, global_budget=cfg.global_budget, local_budget=cfg.local_budget
+    )
+
+
+def shared_initial_data(
+    testbench: CircuitTestbench,
+    spec_name: str,
+    cfg: ExperimentConfig,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The initial dataset D_0 shared by every BO method (paper §5.1)."""
+    from repro.bo.engine import uniform_initial_design
+
+    objective = testbench.objective(spec_name)
+    X = uniform_initial_design(testbench.bounds(), cfg.n_init, seed=cfg.seed)
+    y = np.array([objective(x) for x in X])
+    return X, y
+
+
+def run_method(
+    name: str,
+    testbench: CircuitTestbench,
+    spec_name: str,
+    cfg: ExperimentConfig,
+    initial_data: tuple[np.ndarray, np.ndarray] | None = None,
+    seed: int | None = None,
+) -> RunResult:
+    """Execute one method against one spec and return its evaluation log."""
+    objective = testbench.objective(spec_name)
+    threshold = testbench.threshold(spec_name)
+    bounds = testbench.bounds()
+    seed = cfg.seed if seed is None else seed
+
+    if name == "MC":
+        sampler = MonteCarloSampler(cfg.mc_samples, seed=seed)
+        return sampler.run(objective, bounds, threshold=threshold)
+
+    if name == "SSS":
+        sampler = ScaledSigmaSampler(
+            cfg.sss_samples_per_scale, scales=cfg.sss_scales, seed=seed
+        )
+        return sampler.run(objective, bounds, threshold=threshold)
+
+    if initial_data is None:
+        initial_data = shared_initial_data(testbench, spec_name, cfg)
+
+    if name in ("EI", "PI", "LCB"):
+        engine = SequentialBO(
+            acquisition=name.lower(),
+            kernel_factory=cfg.kernel_factory(),
+            noise_variance=cfg.noise_variance,
+            tune_every=cfg.tune_every_sequential,
+            acquisition_optimizer_factory=_acq_factory(cfg),
+            seed=seed,
+        )
+        return engine.run(
+            objective,
+            bounds,
+            budget=cfg.bo_budget,
+            threshold=threshold,
+            initial_data=initial_data,
+        )
+
+    if name == "pBO":
+        engine = BatchBO(
+            batch_size=cfg.batch_size,
+            kernel_factory=cfg.kernel_factory(),
+            noise_variance=cfg.noise_variance,
+            tune_every=cfg.tune_every_batch,
+            acquisition_optimizer_factory=_acq_factory(cfg),
+            seed=seed,
+        )
+        return engine.run(
+            objective,
+            bounds,
+            n_batches=cfg.n_batches,
+            threshold=threshold,
+            initial_data=initial_data,
+        )
+
+    if name == "This work":
+        engine = RemboBO(
+            batch_size=cfg.batch_size,
+            embedding_dim=cfg.embedding_dim,
+            dimension_trials=cfg.dimension_trials,
+            kernel_factory=cfg.kernel_factory(),
+            noise_variance=cfg.noise_variance,
+            tune_every=cfg.tune_every_batch,
+            acquisition_optimizer_factory=_acq_factory(cfg),
+            seed=seed,
+        )
+        return engine.run(
+            objective,
+            bounds,
+            n_batches=cfg.n_batches,
+            threshold=threshold,
+            initial_data=initial_data,
+        )
+
+    raise ValueError(f"unknown method {name!r}; options: {METHOD_ORDER}")

@@ -1,0 +1,17 @@
+"""Gaussian-process surrogate modeling (paper Section 2.2.1, Eqs. 3-8)."""
+
+from repro.gp.hyperopt import HyperoptResult, fit_hyperparameters
+from repro.gp.mean import ConstantMean, MeanFunction, ZeroMean
+from repro.gp.model import GaussianProcess, GPPrediction
+from repro.gp.standardize import Standardizer
+
+__all__ = [
+    "GaussianProcess",
+    "GPPrediction",
+    "fit_hyperparameters",
+    "HyperoptResult",
+    "MeanFunction",
+    "ZeroMean",
+    "ConstantMean",
+    "Standardizer",
+]

@@ -1,0 +1,38 @@
+"""Prior mean functions for the GP surrogate.
+
+The paper sets ``m(x) = 0`` (Section 2.2.1); the constant mean is provided
+for users who standardize less aggressively.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.utils.validation import as_matrix
+
+
+class MeanFunction(abc.ABC):
+    """Prior mean ``m(x)`` of the GP."""
+
+    @abc.abstractmethod
+    def __call__(self, X: np.ndarray) -> np.ndarray:
+        """Evaluate the mean at each row of ``X``; returns shape ``(n,)``."""
+
+
+class ZeroMean(MeanFunction):
+    """The paper's default prior mean ``m(x) = 0``."""
+
+    def __call__(self, X: np.ndarray) -> np.ndarray:
+        return np.zeros(as_matrix(X).shape[0])
+
+
+class ConstantMean(MeanFunction):
+    """Constant prior mean ``m(x) = c``."""
+
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = float(value)
+
+    def __call__(self, X: np.ndarray) -> np.ndarray:
+        return np.full(as_matrix(X).shape[0], self.value)

@@ -1,0 +1,265 @@
+"""Exact Gaussian-process regression (paper Eqs. 3-8).
+
+The model implements the standard conjugate GP machinery on top of a
+Cholesky factorization of ``K + sigma0^2 I``:
+
+* posterior mean and variance at test points (Eqs. 5-7),
+* the log marginal likelihood and its analytic gradient with respect to the
+  kernel hyperparameters and the log noise variance (Eq. 8),
+* leave-one-out cross-validation residuals (used by the embedding-dimension
+  selector as a less optimistic alternative to training MSE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.linalg import cho_factor, cho_solve, cholesky, solve_triangular
+
+from repro.gp.mean import MeanFunction, ZeroMean
+from repro.kernels.base import Kernel
+from repro.utils.validation import as_matrix, as_vector
+
+#: Diagonal jitter ladder tried when the Gram matrix is numerically singular.
+_JITTERS = (0.0, 1e-10, 1e-8, 1e-6, 1e-4)
+
+
+@dataclass
+class GPPrediction:
+    """Posterior prediction at a batch of test points."""
+
+    mean: np.ndarray
+    variance: np.ndarray
+
+    @property
+    def std(self) -> np.ndarray:
+        return np.sqrt(np.maximum(self.variance, 0.0))
+
+
+class GaussianProcess:
+    """Exact GP regression with explicit Gaussian observation noise.
+
+    Parameters
+    ----------
+    kernel:
+        Prior covariance function.
+    noise_variance:
+        The intrinsic noise ``sigma_0^2`` of Eq. 4.
+    mean:
+        Prior mean function; defaults to zero as in the paper.
+    train_noise:
+        When True, the log noise variance is appended to the hyperparameter
+        vector exposed through :attr:`theta` and fitted jointly with the
+        kernel parameters.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        noise_variance: float = 1e-6,
+        mean: MeanFunction | None = None,
+        train_noise: bool = True,
+    ) -> None:
+        if noise_variance <= 0:
+            raise ValueError(
+                f"noise_variance must be positive, got {noise_variance}"
+            )
+        self.kernel = kernel
+        self.noise_variance = float(noise_variance)
+        self.mean = mean if mean is not None else ZeroMean()
+        self.train_noise = bool(train_noise)
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self._chol: np.ndarray | None = None
+        self._alpha: np.ndarray | None = None
+
+    # -- hyperparameter vector ----------------------------------------------
+
+    @property
+    def theta(self) -> np.ndarray:
+        """Kernel log-hyperparameters, plus log noise when ``train_noise``."""
+        theta = self.kernel.theta
+        if self.train_noise:
+            theta = np.concatenate([theta, [np.log(self.noise_variance)]])
+        return theta
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        value = np.asarray(value, dtype=float)
+        n_kernel = self.kernel.n_params
+        expected = n_kernel + (1 if self.train_noise else 0)
+        if value.shape != (expected,):
+            raise ValueError(
+                f"theta must have shape ({expected},), got {value.shape}"
+            )
+        self.kernel.theta = value[:n_kernel]
+        if self.train_noise:
+            self.noise_variance = float(np.exp(value[-1]))
+        if self._X is not None:
+            self._refit()
+
+    def theta_bounds(self) -> np.ndarray:
+        bounds = self.kernel.theta_bounds()
+        if self.train_noise:
+            noise_bounds = np.array([[np.log(1e-10), np.log(1e2)]])
+            bounds = np.vstack([bounds, noise_bounds])
+        return bounds
+
+    # -- fitting --------------------------------------------------------------
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._chol is not None
+
+    @property
+    def n_train(self) -> int:
+        return 0 if self._X is None else self._X.shape[0]
+
+    @property
+    def X_train(self) -> np.ndarray:
+        if self._X is None:
+            raise RuntimeError("GP has not been fitted")
+        return self._X
+
+    @property
+    def y_train(self) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("GP has not been fitted")
+        return self._y
+
+    def fit(self, X, y) -> "GaussianProcess":
+        """Condition the GP on training data ``(X, y)``."""
+        X = as_matrix(X)
+        y = as_vector(y, X.shape[0])
+        self._X = X
+        self._y = y
+        self._refit()
+        return self
+
+    def add_data(self, X, y) -> "GaussianProcess":
+        """Append observations and re-condition (sequential BO update)."""
+        X = as_matrix(X)
+        y = as_vector(y, X.shape[0])
+        if self._X is None:
+            return self.fit(X, y)
+        if X.shape[1] != self._X.shape[1]:
+            raise ValueError(
+                f"new points have dim {X.shape[1]}, model has {self._X.shape[1]}"
+            )
+        self._X = np.vstack([self._X, X])
+        self._y = np.concatenate([self._y, y])
+        self._refit()
+        return self
+
+    def _refit(self) -> None:
+        K = self.kernel(self._X)
+        n = K.shape[0]
+        base = K + self.noise_variance * np.eye(n)
+        last_error: Exception | None = None
+        for jitter in _JITTERS:
+            try:
+                self._chol = cholesky(base + jitter * np.eye(n), lower=True)
+                break
+            except np.linalg.LinAlgError as exc:  # pragma: no cover - rare
+                last_error = exc
+        else:  # pragma: no cover - pathological kernels only
+            raise np.linalg.LinAlgError(
+                "Gram matrix is not positive definite even with jitter"
+            ) from last_error
+        residual = self._y - self.mean(self._X)
+        self._alpha = cho_solve((self._chol, True), residual)
+
+    # -- prediction -------------------------------------------------------------
+
+    def predict(self, X) -> GPPrediction:
+        """Posterior mean and variance at test points (Eqs. 5-7)."""
+        if not self.is_fitted:
+            raise RuntimeError("GP has not been fitted")
+        X = as_matrix(X, self._X.shape[1])
+        k_star = self.kernel(self._X, X)  # (n_train, n_test)
+        mean = self.mean(X) + k_star.T @ self._alpha
+        v = solve_triangular(self._chol, k_star, lower=True)
+        variance = self.kernel.diag(X) - np.sum(v**2, axis=0)
+        return GPPrediction(mean=mean, variance=np.maximum(variance, 0.0))
+
+    def predict_cov(self, X) -> tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and full covariance matrix at test points."""
+        if not self.is_fitted:
+            raise RuntimeError("GP has not been fitted")
+        X = as_matrix(X, self._X.shape[1])
+        k_star = self.kernel(self._X, X)
+        mean = self.mean(X) + k_star.T @ self._alpha
+        v = solve_triangular(self._chol, k_star, lower=True)
+        cov = self.kernel(X) - v.T @ v
+        return mean, cov
+
+    def sample_posterior(self, X, n_samples: int, rng) -> np.ndarray:
+        """Draw joint posterior samples; returns shape ``(n_samples, n_test)``."""
+        mean, cov = self.predict_cov(X)
+        cov = cov + 1e-10 * np.eye(cov.shape[0])
+        return rng.multivariate_normal(mean, cov, size=n_samples, method="cholesky")
+
+    # -- evidence ----------------------------------------------------------------
+
+    def log_marginal_likelihood(self) -> float:
+        """Eq. 8 evaluated at the current hyperparameters."""
+        if not self.is_fitted:
+            raise RuntimeError("GP has not been fitted")
+        residual = self._y - self.mean(self._X)
+        n = residual.shape[0]
+        log_det = 2.0 * np.sum(np.log(np.diag(self._chol)))
+        return float(
+            -0.5 * residual @ self._alpha
+            - 0.5 * log_det
+            - 0.5 * n * np.log(2.0 * np.pi)
+        )
+
+    def log_marginal_likelihood_gradient(self) -> np.ndarray:
+        """Analytic gradient of Eq. 8 with respect to :attr:`theta`.
+
+        Uses the standard identity
+        ``dL/dθ_j = ½ tr((α αᵀ − K⁻¹) ∂K/∂θ_j)`` with ``α = K⁻¹ (y − m)``.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("GP has not been fitted")
+        n = self._X.shape[0]
+        K_inv = cho_solve((self._chol, True), np.eye(n))
+        outer = np.outer(self._alpha, self._alpha)
+        inner = outer - K_inv
+        grads = []
+        for dK in self.kernel.gradients(self._X):
+            grads.append(0.5 * np.sum(inner * dK))
+        if self.train_noise:
+            # d(K + σ² I)/d(log σ²) = σ² I
+            grads.append(0.5 * self.noise_variance * np.trace(inner))
+        return np.asarray(grads)
+
+    # -- diagnostics -----------------------------------------------------------
+
+    def training_mse(self) -> float:
+        """Mean squared error of the posterior mean at the training inputs.
+
+        This is the quantity averaged in the paper's Algorithm 2 (line 6):
+        with observation noise the GP does not interpolate, so the training
+        MSE measures how much signal survives a given embedding.
+        """
+        pred = self.predict(self._X)
+        return float(np.mean((pred.mean - self._y) ** 2))
+
+    def loo_residuals(self) -> np.ndarray:
+        """Leave-one-out residuals via the Sundararajan-Keerthi identity.
+
+        ``r_i = α_i / (K⁻¹)_{ii}`` gives the LOO prediction error without
+        refitting n models.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("GP has not been fitted")
+        n = self._X.shape[0]
+        K_inv = cho_solve((self._chol, True), np.eye(n))
+        diag = np.diag(K_inv)
+        return self._alpha / np.maximum(diag, 1e-300)
+
+    def loo_mse(self) -> float:
+        """Leave-one-out cross-validation mean squared error."""
+        return float(np.mean(self.loo_residuals() ** 2))

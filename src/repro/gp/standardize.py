@@ -1,0 +1,66 @@
+"""Label standardization for GP training.
+
+Circuit performances arrive in volts, amps or percent; the GP's zero prior
+mean and unit-scale kernels expect roughly standardized labels.  The
+transform is affine, so failure thresholds map through it exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import as_vector
+
+
+class Standardizer:
+    """Affine map ``y -> (y - mean) / scale`` fitted on training labels.
+
+    A degenerate (constant) label set falls back to unit scale so that the
+    inverse transform stays well-defined.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: float | None = None
+        self.scale_: float | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.mean_ is not None
+
+    def fit(self, y) -> "Standardizer":
+        y = as_vector(y)
+        if y.shape[0] == 0:
+            raise ValueError("cannot fit a standardizer on an empty label set")
+        self.mean_ = float(np.mean(y))
+        scale = float(np.std(y))
+        self.scale_ = scale if scale > 1e-12 else 1.0
+        return self
+
+    def transform(self, y) -> np.ndarray:
+        self._require_fitted()
+        return (as_vector(y) - self.mean_) / self.scale_
+
+    def fit_transform(self, y) -> np.ndarray:
+        return self.fit(y).transform(y)
+
+    def inverse_transform(self, y) -> np.ndarray:
+        self._require_fitted()
+        return as_vector(y) * self.scale_ + self.mean_
+
+    def transform_scalar(self, value: float) -> float:
+        """Map a single threshold (e.g. the spec target ``T``)."""
+        self._require_fitted()
+        return (float(value) - self.mean_) / self.scale_
+
+    def inverse_transform_scalar(self, value: float) -> float:
+        self._require_fitted()
+        return float(value) * self.scale_ + self.mean_
+
+    def scale_variance(self, variance) -> np.ndarray:
+        """Map a posterior variance back to the original label units."""
+        self._require_fitted()
+        return np.asarray(variance, dtype=float) * self.scale_**2
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise RuntimeError("standardizer has not been fitted")

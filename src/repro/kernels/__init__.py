@@ -1,0 +1,30 @@
+"""Covariance functions for the GP surrogate (paper Section 2.2.1)."""
+
+from repro.kernels.base import Kernel, pairwise_sq_dists
+from repro.kernels.composite import ProductKernel, ScaledKernel, SumKernel
+from repro.kernels.stationary import (
+    RBF,
+    Matern12,
+    Matern32,
+    Matern52,
+    RationalQuadratic,
+    SquaredExponential,
+    StationaryKernel,
+    WhiteNoise,
+)
+
+__all__ = [
+    "Kernel",
+    "pairwise_sq_dists",
+    "StationaryKernel",
+    "SquaredExponential",
+    "RBF",
+    "Matern12",
+    "Matern32",
+    "Matern52",
+    "RationalQuadratic",
+    "WhiteNoise",
+    "SumKernel",
+    "ProductKernel",
+    "ScaledKernel",
+]

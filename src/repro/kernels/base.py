@@ -1,0 +1,93 @@
+"""Kernel (covariance function) interface and hyperparameter plumbing.
+
+Kernels expose their tunable hyperparameters as an unconstrained flat vector
+(``theta``) holding *log*-transformed positive parameters, which is what the
+marginal-likelihood optimizer in :mod:`repro.gp` works with.  Gradients of
+the Gram matrix with respect to each ``theta`` entry are provided so that GP
+hyperparameter fitting can use analytic derivatives (paper Eq. 8).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.utils.validation import as_matrix
+
+
+class Kernel(abc.ABC):
+    """Abstract covariance function ``k(x, x')``.
+
+    Subclasses implement :meth:`__call__` returning the cross Gram matrix and
+    :meth:`gradients` returning ``d K / d theta_j`` for each hyperparameter.
+    """
+
+    @property
+    @abc.abstractmethod
+    def theta(self) -> np.ndarray:
+        """The unconstrained (log-space) hyperparameter vector."""
+
+    @theta.setter
+    @abc.abstractmethod
+    def theta(self, value: np.ndarray) -> None: ...
+
+    @property
+    def n_params(self) -> int:
+        """Number of tunable hyperparameters."""
+        return self.theta.shape[0]
+
+    @abc.abstractmethod
+    def __call__(self, X: np.ndarray, Z: np.ndarray | None = None) -> np.ndarray:
+        """Return the Gram matrix ``K[i, j] = k(X[i], Z[j])`` (``Z=X`` if None)."""
+
+    @abc.abstractmethod
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        """Return ``k(x_i, x_i)`` for each row, cheaper than ``diag(K(X, X))``."""
+
+    @abc.abstractmethod
+    def gradients(self, X: np.ndarray) -> list[np.ndarray]:
+        """Return ``[dK/dtheta_0, ...]`` evaluated at the training inputs."""
+
+    @abc.abstractmethod
+    def theta_bounds(self) -> np.ndarray:
+        """Return ``(n_params, 2)`` log-space box bounds for optimization."""
+
+    def clone(self) -> "Kernel":
+        """Return an independent copy (same hyperparameter values)."""
+        import copy
+
+        return copy.deepcopy(self)
+
+    # -- operator sugar ----------------------------------------------------
+
+    def __add__(self, other: "Kernel") -> "Kernel":
+        from repro.kernels.composite import SumKernel
+
+        return SumKernel(self, other)
+
+    def __mul__(self, other: "Kernel") -> "Kernel":
+        from repro.kernels.composite import ProductKernel
+
+        return ProductKernel(self, other)
+
+
+def pairwise_sq_dists(
+    X: np.ndarray, Z: np.ndarray, lengthscales: np.ndarray
+) -> np.ndarray:
+    """Squared Euclidean distances between scaled rows of ``X`` and ``Z``.
+
+    ``lengthscales`` may be a scalar array of shape ``(1,)`` (isotropic) or
+    per-dimension of shape ``(dim,)`` (ARD).  Distances are clipped at zero
+    to guard against negative round-off.
+    """
+    X = as_matrix(X)
+    Z = as_matrix(Z)
+    Xs = X / lengthscales
+    Zs = Z / lengthscales
+    sq = (
+        np.sum(Xs**2, axis=1)[:, None]
+        + np.sum(Zs**2, axis=1)[None, :]
+        - 2.0 * Xs @ Zs.T
+    )
+    return np.maximum(sq, 0.0)

@@ -1,0 +1,104 @@
+"""Kernel algebra: sums, products and constant scalings.
+
+Composite kernels concatenate their children's hyperparameter vectors, so
+they slot into the same marginal-likelihood optimization as any base kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import Kernel
+
+
+class _BinaryKernel(Kernel):
+    """Shared plumbing for two-child composite kernels."""
+
+    def __init__(self, left: Kernel, right: Kernel) -> None:
+        if not isinstance(left, Kernel) or not isinstance(right, Kernel):
+            raise TypeError("composite kernels combine Kernel instances")
+        self.left = left
+        self.right = right
+
+    @property
+    def theta(self) -> np.ndarray:
+        return np.concatenate([self.left.theta, self.right.theta])
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        value = np.asarray(value, dtype=float)
+        n_left = self.left.n_params
+        expected = n_left + self.right.n_params
+        if value.shape != (expected,):
+            raise ValueError(
+                f"theta must have shape ({expected},), got {value.shape}"
+            )
+        self.left.theta = value[:n_left]
+        self.right.theta = value[n_left:]
+
+    def theta_bounds(self) -> np.ndarray:
+        return np.vstack([self.left.theta_bounds(), self.right.theta_bounds()])
+
+
+class SumKernel(_BinaryKernel):
+    """``k(x, x') = k_left(x, x') + k_right(x, x')``."""
+
+    def __call__(self, X: np.ndarray, Z: np.ndarray | None = None) -> np.ndarray:
+        return self.left(X, Z) + self.right(X, Z)
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return self.left.diag(X) + self.right.diag(X)
+
+    def gradients(self, X: np.ndarray) -> list[np.ndarray]:
+        return self.left.gradients(X) + self.right.gradients(X)
+
+
+class ProductKernel(_BinaryKernel):
+    """``k(x, x') = k_left(x, x') * k_right(x, x')``."""
+
+    def __call__(self, X: np.ndarray, Z: np.ndarray | None = None) -> np.ndarray:
+        return self.left(X, Z) * self.right(X, Z)
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return self.left.diag(X) * self.right.diag(X)
+
+    def gradients(self, X: np.ndarray) -> list[np.ndarray]:
+        k_left = self.left(X)
+        k_right = self.right(X)
+        grads = [g * k_right for g in self.left.gradients(X)]
+        grads.extend(k_left * g for g in self.right.gradients(X))
+        return grads
+
+
+class ScaledKernel(Kernel):
+    """``k(x, x') = scale * k_inner(x, x')`` with a *fixed* scale.
+
+    Unlike the signal variance of a stationary kernel, ``scale`` here is not
+    a hyperparameter — use it to freeze relative weights in composites.
+    """
+
+    def __init__(self, inner: Kernel, scale: float) -> None:
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.inner = inner
+        self.scale = float(scale)
+
+    @property
+    def theta(self) -> np.ndarray:
+        return self.inner.theta
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        self.inner.theta = value
+
+    def theta_bounds(self) -> np.ndarray:
+        return self.inner.theta_bounds()
+
+    def __call__(self, X: np.ndarray, Z: np.ndarray | None = None) -> np.ndarray:
+        return self.scale * self.inner(X, Z)
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return self.scale * self.inner.diag(X)
+
+    def gradients(self, X: np.ndarray) -> list[np.ndarray]:
+        return [self.scale * g for g in self.inner.gradients(X)]

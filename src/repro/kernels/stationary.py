@@ -1,0 +1,306 @@
+"""Stationary covariance functions with optional ARD lengthscales.
+
+The paper's GP surrogate (Section 2.2.1) uses the squared-exponential or
+Matérn families; all of them are provided here with analytic gradients with
+respect to log-hyperparameters so that marginal-likelihood fitting is exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import Kernel, pairwise_sq_dists
+from repro.utils.validation import as_matrix
+
+_SQRT3 = np.sqrt(3.0)
+_SQRT5 = np.sqrt(5.0)
+
+
+class StationaryKernel(Kernel):
+    """Base class for kernels of the form ``variance * g(r)``.
+
+    Parameters
+    ----------
+    dim:
+        Input dimensionality.  Required when ``ard=True``.
+    variance:
+        Signal variance (the kernel value at zero distance).
+    lengthscale:
+        Scalar lengthscale, or per-dimension vector when ``ard=True``.
+    ard:
+        Use one lengthscale per input dimension (automatic relevance
+        determination).
+    """
+
+    def __init__(
+        self,
+        dim: int | None = None,
+        variance: float = 1.0,
+        lengthscale: float | np.ndarray = 1.0,
+        ard: bool = False,
+    ) -> None:
+        if variance <= 0:
+            raise ValueError(f"variance must be positive, got {variance}")
+        self.dim = dim
+        self.ard = bool(ard)
+        ls = np.atleast_1d(np.asarray(lengthscale, dtype=float))
+        if self.ard:
+            if dim is None:
+                raise ValueError("dim is required for an ARD kernel")
+            if ls.shape[0] == 1:
+                ls = np.full(dim, ls[0])
+            if ls.shape[0] != dim:
+                raise ValueError(
+                    f"lengthscale has {ls.shape[0]} entries, expected {dim}"
+                )
+        elif ls.shape[0] != 1:
+            raise ValueError("non-ARD kernel takes a scalar lengthscale")
+        if np.any(ls <= 0):
+            raise ValueError("lengthscales must be positive")
+        self.variance = float(variance)
+        self.lengthscales = ls
+
+    # -- hyperparameter vector: [log variance, log lengthscales...] --------
+
+    @property
+    def theta(self) -> np.ndarray:
+        return np.concatenate(
+            [[np.log(self.variance)], np.log(self.lengthscales)]
+        )
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        value = np.asarray(value, dtype=float)
+        expected = 1 + self.lengthscales.shape[0]
+        if value.shape != (expected,):
+            raise ValueError(
+                f"theta must have shape ({expected},), got {value.shape}"
+            )
+        self.variance = float(np.exp(value[0]))
+        self.lengthscales = np.exp(value[1:])
+
+    def theta_bounds(self) -> np.ndarray:
+        n_ls = self.lengthscales.shape[0]
+        bounds = np.empty((1 + n_ls, 2))
+        bounds[0] = (np.log(1e-6), np.log(1e6))
+        bounds[1:] = (np.log(1e-3), np.log(1e3))
+        return bounds
+
+    # -- distance helpers ---------------------------------------------------
+
+    def _scaled_sq_dists(self, X: np.ndarray, Z: np.ndarray) -> np.ndarray:
+        return pairwise_sq_dists(X, Z, self.lengthscales)
+
+    def _per_dim_sq_dists(self, X: np.ndarray) -> list[np.ndarray]:
+        """``u_k[i,j] = (x_ik - x_jk)^2 / l_k^2`` for each ARD dimension."""
+        X = as_matrix(X)
+        out = []
+        for k in range(X.shape[1]):
+            d = (X[:, k][:, None] - X[:, k][None, :]) / self.lengthscales[k]
+            out.append(d**2)
+        return out
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        X = as_matrix(X)
+        return np.full(X.shape[0], self.variance)
+
+    # -- subclass hooks ------------------------------------------------------
+
+    def _g(self, sq: np.ndarray) -> np.ndarray:
+        """Correlation as a function of the scaled squared distance."""
+        raise NotImplementedError
+
+    def _dg_dsq(self, sq: np.ndarray) -> np.ndarray:
+        """Derivative of the correlation w.r.t. the scaled squared distance."""
+        raise NotImplementedError
+
+    def __call__(self, X: np.ndarray, Z: np.ndarray | None = None) -> np.ndarray:
+        X = as_matrix(X, self.dim)
+        if Z is None:
+            # exact zeros on the self-Gram diagonal: the O(eps) cancellation
+            # noise of the distance formula is amplified unboundedly by the
+            # sqrt in the non-smooth Matern kernels
+            sq = self._scaled_sq_dists(X, X)
+            np.fill_diagonal(sq, 0.0)
+            return self.variance * self._g(sq)
+        Z = as_matrix(Z, self.dim)
+        return self.variance * self._g(self._scaled_sq_dists(X, Z))
+
+    def gradients(self, X: np.ndarray) -> list[np.ndarray]:
+        X = as_matrix(X, self.dim)
+        sq = self._scaled_sq_dists(X, X)
+        np.fill_diagonal(sq, 0.0)
+        g = self._g(sq)
+        dg = self._dg_dsq(sq)
+        grads = [self.variance * g]  # d/d log variance
+        if self.ard:
+            # d sq / d log l_k = -2 u_k
+            for u in self._per_dim_sq_dists(X):
+                grads.append(self.variance * dg * (-2.0 * u))
+        else:
+            grads.append(self.variance * dg * (-2.0 * sq))
+        return grads
+
+
+class SquaredExponential(StationaryKernel):
+    """Squared-exponential (RBF) kernel ``v * exp(-r^2 / 2)``."""
+
+    def _g(self, sq: np.ndarray) -> np.ndarray:
+        return np.exp(-0.5 * sq)
+
+    def _dg_dsq(self, sq: np.ndarray) -> np.ndarray:
+        return -0.5 * np.exp(-0.5 * sq)
+
+
+#: Common alias for :class:`SquaredExponential`.
+RBF = SquaredExponential
+
+
+def _safe_sqrt(sq: np.ndarray) -> np.ndarray:
+    return np.sqrt(np.maximum(sq, 0.0))
+
+
+class Matern12(StationaryKernel):
+    """Matérn ν=1/2 (exponential) kernel ``v * exp(-r)``."""
+
+    def _g(self, sq: np.ndarray) -> np.ndarray:
+        return np.exp(-_safe_sqrt(sq))
+
+    def _dg_dsq(self, sq: np.ndarray) -> np.ndarray:
+        r = _safe_sqrt(sq)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = np.where(r > 0, -np.exp(-r) / (2.0 * np.maximum(r, 1e-300)), 0.0)
+        return out
+
+
+class Matern32(StationaryKernel):
+    """Matérn ν=3/2 kernel ``v * (1 + √3 r) exp(-√3 r)``."""
+
+    def _g(self, sq: np.ndarray) -> np.ndarray:
+        r = _safe_sqrt(sq)
+        return (1.0 + _SQRT3 * r) * np.exp(-_SQRT3 * r)
+
+    def _dg_dsq(self, sq: np.ndarray) -> np.ndarray:
+        # dg/d(sq) = (dg/dr) / (2r) = -3 r exp(-√3 r) / (2r) = -1.5 exp(-√3 r)
+        r = _safe_sqrt(sq)
+        return -1.5 * np.exp(-_SQRT3 * r)
+
+
+class Matern52(StationaryKernel):
+    """Matérn ν=5/2 kernel ``v * (1 + √5 r + 5 r²/3) exp(-√5 r)``."""
+
+    def _g(self, sq: np.ndarray) -> np.ndarray:
+        r = _safe_sqrt(sq)
+        return (1.0 + _SQRT5 * r + (5.0 / 3.0) * sq) * np.exp(-_SQRT5 * r)
+
+    def _dg_dsq(self, sq: np.ndarray) -> np.ndarray:
+        # dg/dr = -(5r/3)(1 + √5 r) exp(-√5 r); dg/dsq = dg/dr / (2r)
+        r = _safe_sqrt(sq)
+        return -(5.0 / 6.0) * (1.0 + _SQRT5 * r) * np.exp(-_SQRT5 * r)
+
+
+class RationalQuadratic(StationaryKernel):
+    """Rational-quadratic kernel ``v * (1 + r²/(2α))^{-α}``.
+
+    Behaves like a scale mixture of SE kernels; ``alpha`` is an extra
+    hyperparameter appended to the end of ``theta``.
+    """
+
+    def __init__(
+        self,
+        dim: int | None = None,
+        variance: float = 1.0,
+        lengthscale: float | np.ndarray = 1.0,
+        ard: bool = False,
+        alpha: float = 1.0,
+    ) -> None:
+        super().__init__(dim=dim, variance=variance, lengthscale=lengthscale, ard=ard)
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        self.alpha = float(alpha)
+
+    @property
+    def theta(self) -> np.ndarray:
+        return np.concatenate(
+            [[np.log(self.variance)], np.log(self.lengthscales), [np.log(self.alpha)]]
+        )
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        value = np.asarray(value, dtype=float)
+        expected = 2 + self.lengthscales.shape[0]
+        if value.shape != (expected,):
+            raise ValueError(
+                f"theta must have shape ({expected},), got {value.shape}"
+            )
+        self.variance = float(np.exp(value[0]))
+        self.lengthscales = np.exp(value[1:-1])
+        self.alpha = float(np.exp(value[-1]))
+
+    def theta_bounds(self) -> np.ndarray:
+        base = super().theta_bounds()
+        alpha_bounds = np.array([[np.log(1e-2), np.log(1e2)]])
+        return np.vstack([base, alpha_bounds])
+
+    def _g(self, sq: np.ndarray) -> np.ndarray:
+        return (1.0 + sq / (2.0 * self.alpha)) ** (-self.alpha)
+
+    def _dg_dsq(self, sq: np.ndarray) -> np.ndarray:
+        return -0.5 * (1.0 + sq / (2.0 * self.alpha)) ** (-self.alpha - 1.0)
+
+    def gradients(self, X: np.ndarray) -> list[np.ndarray]:
+        grads = super().gradients(X)
+        X = as_matrix(X, self.dim)
+        sq = self._scaled_sq_dists(X, X)
+        s = 1.0 + sq / (2.0 * self.alpha)
+        # dK/d(alpha) = v * s^{-alpha} * (-log s + sq / (2 alpha s))
+        dk_dalpha = (
+            self.variance
+            * s ** (-self.alpha)
+            * (-np.log(s) + sq / (2.0 * self.alpha * s))
+        )
+        grads.append(self.alpha * dk_dalpha)  # chain rule to log alpha
+        return grads
+
+
+class WhiteNoise(Kernel):
+    """White-noise kernel ``v * 1[x == x']`` (by index, for training inputs).
+
+    The cross Gram matrix against distinct test points is zero; the diagonal
+    carries the noise variance.  Used mainly to build composite kernels in
+    tests — the GP model itself carries an explicit noise term.
+    """
+
+    def __init__(self, variance: float = 1.0) -> None:
+        if variance <= 0:
+            raise ValueError(f"variance must be positive, got {variance}")
+        self.variance = float(variance)
+
+    @property
+    def theta(self) -> np.ndarray:
+        return np.array([np.log(self.variance)])
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        value = np.asarray(value, dtype=float)
+        if value.shape != (1,):
+            raise ValueError(f"theta must have shape (1,), got {value.shape}")
+        self.variance = float(np.exp(value[0]))
+
+    def theta_bounds(self) -> np.ndarray:
+        return np.array([[np.log(1e-9), np.log(1e3)]])
+
+    def __call__(self, X: np.ndarray, Z: np.ndarray | None = None) -> np.ndarray:
+        X = as_matrix(X)
+        if Z is None:
+            return self.variance * np.eye(X.shape[0])
+        Z = as_matrix(Z)
+        return np.zeros((X.shape[0], Z.shape[0]))
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        X = as_matrix(X)
+        return np.full(X.shape[0], self.variance)
+
+    def gradients(self, X: np.ndarray) -> list[np.ndarray]:
+        X = as_matrix(X)
+        return [self.variance * np.eye(X.shape[0])]

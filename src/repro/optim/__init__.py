@@ -1,0 +1,29 @@
+"""Derivative-free optimizers (paper Sections 3 and 5.1).
+
+``Direct`` (DIRECT / DIRECT-L) and ``Cobyla`` mirror the paper's NLopt
+back-ends; ``NelderMead``, ``CmaEs``, ``RandomSearch`` and the composition
+drivers support ablations and the Fig. 2 scaling study.
+"""
+
+from repro.optim.base import CountingObjective, Objective, Optimizer
+from repro.optim.cmaes import CmaEs
+from repro.optim.cobyla import Cobyla
+from repro.optim.direct import Direct
+from repro.optim.multistart import GlobalLocalOptimizer, MultiStartOptimizer
+from repro.optim.nelder_mead import NelderMead
+from repro.optim.random_search import RandomSearch
+from repro.optim.result import OptimizationResult
+
+__all__ = [
+    "Objective",
+    "Optimizer",
+    "CountingObjective",
+    "OptimizationResult",
+    "Direct",
+    "Cobyla",
+    "NelderMead",
+    "CmaEs",
+    "RandomSearch",
+    "GlobalLocalOptimizer",
+    "MultiStartOptimizer",
+]

@@ -1,0 +1,147 @@
+"""A compact (mu/mu_w, lambda)-CMA-ES for box-bounded minimization.
+
+Provided as an extension optimizer (not used by the paper) so ablation
+benches can compare acquisition-optimization back-ends.  Implements the
+standard rank-mu + rank-one covariance update with cumulative step-size
+adaptation (Hansen's tutorial parameterization) and resampling-free bound
+handling by clipping with a penalty on the clip distance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.base import CountingObjective, Objective, Optimizer
+from repro.optim.result import OptimizationResult
+from repro.utils.rng import SeedLike, as_generator
+
+
+class CmaEs(Optimizer):
+    """Covariance-matrix-adaptation evolution strategy over a box."""
+
+    def __init__(
+        self,
+        max_evaluations: int = 5000,
+        population: int | None = None,
+        sigma0: float = 0.3,
+        seed: SeedLike = None,
+        f_tolerance: float = 1e-12,
+    ) -> None:
+        if max_evaluations < 2:
+            raise ValueError(f"max_evaluations must be >= 2, got {max_evaluations}")
+        if not 0 < sigma0 <= 1:
+            raise ValueError(f"sigma0 must be in (0, 1], got {sigma0}")
+        self.max_evaluations = int(max_evaluations)
+        self.population = population
+        self.sigma0 = float(sigma0)
+        self.f_tolerance = float(f_tolerance)
+        self._rng = as_generator(seed)
+
+    def _minimize(
+        self,
+        fun: Objective,
+        lower: np.ndarray,
+        upper: np.ndarray,
+        x0: np.ndarray | None,
+    ) -> OptimizationResult:
+        dim = lower.shape[0]
+        span = upper - lower
+        counted = CountingObjective(fun)
+        rng = self._rng
+
+        lam = self.population or 4 + int(3 * np.log(dim))
+        lam = max(lam, 4)
+        mu = lam // 2
+        weights = np.log(mu + 0.5) - np.log(np.arange(1, mu + 1))
+        weights /= weights.sum()
+        mu_eff = 1.0 / np.sum(weights**2)
+
+        # strategy parameters (Hansen's defaults)
+        c_sigma = (mu_eff + 2.0) / (dim + mu_eff + 5.0)
+        d_sigma = 1.0 + 2.0 * max(0.0, np.sqrt((mu_eff - 1.0) / (dim + 1.0)) - 1.0) + c_sigma
+        c_c = (4.0 + mu_eff / dim) / (dim + 4.0 + 2.0 * mu_eff / dim)
+        c_1 = 2.0 / ((dim + 1.3) ** 2 + mu_eff)
+        c_mu = min(
+            1.0 - c_1,
+            2.0 * (mu_eff - 2.0 + 1.0 / mu_eff) / ((dim + 2.0) ** 2 + mu_eff),
+        )
+        chi_n = np.sqrt(dim) * (1.0 - 1.0 / (4.0 * dim) + 1.0 / (21.0 * dim**2))
+
+        # state, expressed in normalized [0, 1] coordinates
+        mean = (
+            (np.clip(x0, lower, upper) - lower) / span
+            if x0 is not None
+            else np.full(dim, 0.5)
+        )
+        sigma = self.sigma0
+        C = np.eye(dim)
+        p_sigma = np.zeros(dim)
+        p_c = np.zeros(dim)
+
+        iteration = 0
+        message = "evaluation budget exhausted"
+        success = False
+        while counted.n_evaluations + lam <= self.max_evaluations:
+            iteration += 1
+            # eigendecomposition for sampling (dim is small in our use)
+            eigvals, B = np.linalg.eigh(C)
+            eigvals = np.maximum(eigvals, 1e-20)
+            D = np.sqrt(eigvals)
+
+            zs = rng.standard_normal((lam, dim))
+            ys = zs * D @ B.T  # y_k = B D z_k
+            xs = mean + sigma * ys
+            xs_clipped = np.clip(xs, 0.0, 1.0)
+            penalties = np.sum((xs - xs_clipped) ** 2, axis=1)
+            fs = np.array(
+                [counted(lower + xc * span) for xc in xs_clipped]
+            ) + penalties
+
+            order = np.argsort(fs)
+            y_sel = ys[order[:mu]]
+            y_w = weights @ y_sel
+            mean = np.clip(mean + sigma * y_w, 0.0, 1.0)
+
+            # cumulative step-size adaptation
+            inv_sqrt_y = (y_w @ B) / D @ B.T
+            p_sigma = (1.0 - c_sigma) * p_sigma + np.sqrt(
+                c_sigma * (2.0 - c_sigma) * mu_eff
+            ) * inv_sqrt_y
+            sigma *= np.exp(
+                (c_sigma / d_sigma) * (np.linalg.norm(p_sigma) / chi_n - 1.0)
+            )
+            sigma = float(np.clip(sigma, 1e-12, 1.0))
+
+            h_sigma = (
+                np.linalg.norm(p_sigma)
+                / np.sqrt(1.0 - (1.0 - c_sigma) ** (2.0 * iteration))
+                < (1.4 + 2.0 / (dim + 1.0)) * chi_n
+            )
+            p_c = (1.0 - c_c) * p_c + h_sigma * np.sqrt(
+                c_c * (2.0 - c_c) * mu_eff
+            ) * y_w
+
+            rank_mu = sum(w * np.outer(y, y) for w, y in zip(weights, y_sel))
+            C = (
+                (1.0 - c_1 - c_mu) * C
+                + c_1 * (np.outer(p_c, p_c) + (not h_sigma) * c_c * (2.0 - c_c) * C)
+                + c_mu * rank_mu
+            )
+            C = 0.5 * (C + C.T)
+
+            if fs[order[mu - 1]] - fs[order[0]] < self.f_tolerance and sigma < 1e-8:
+                message, success = "population converged", True
+                break
+
+        if counted.best_x is None:
+            # budget too small for one generation: evaluate the mean
+            counted(lower + mean * span)
+        return OptimizationResult(
+            x=counted.best_x,
+            fun=counted.best_f,
+            n_evaluations=counted.n_evaluations,
+            n_iterations=iteration,
+            success=success,
+            message=message,
+            history=list(counted.history),
+        )

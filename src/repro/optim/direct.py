@@ -1,0 +1,239 @@
+"""DIRECT and DIRECT-L global optimization (Jones et al.; Gablonsky & Kelley).
+
+The paper optimizes its acquisition functions with NLopt's ``DIRECT_L``;
+this is a from-scratch implementation of the same algorithm family:
+
+* the space is normalized to the unit cube and recursively trisected,
+* each iteration selects *potentially optimal* hyperrectangles — the lower
+  convex hull of (size, best-f) groups — and divides them,
+* the locally-biased variant (``DIRECT-L``) measures rectangle size by the
+  longest side, keeps at most one rectangle per size group, and trisects a
+  single longest side per division, which biases the search toward local
+  refinement and keeps the number of divisions per iteration small.
+
+Only box bounds are supported, which is all acquisition optimization needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.optim.base import CountingObjective, Objective, Optimizer
+from repro.optim.result import OptimizationResult
+
+#: Epsilon of the potentially-optimal test (standard DIRECT magic constant).
+_EPS = 1e-4
+
+
+@dataclass
+class _Rect:
+    """A hyperrectangle in the normalized unit cube."""
+
+    center: np.ndarray
+    f: float
+    levels: np.ndarray  # trisection count per dimension; side_k = 3^-levels_k
+    size: float = field(default=0.0)  # cached size measure, set by Direct
+
+    def side_lengths(self) -> np.ndarray:
+        return 3.0 ** (-self.levels.astype(float))
+
+
+class Direct(Optimizer):
+    """DIRECT / DIRECT-L over a box.
+
+    Parameters
+    ----------
+    max_evaluations:
+        Objective evaluation budget.
+    max_iterations:
+        Cap on outer divide-select iterations.
+    locally_biased:
+        True (default) gives DIRECT-L, matching the paper's choice.
+    f_target:
+        Optional early-stop threshold: terminate once ``f <= f_target``.
+    size_tolerance:
+        Stop when the best rectangle's size measure falls below this.
+    """
+
+    def __init__(
+        self,
+        max_evaluations: int = 2000,
+        max_iterations: int = 1000,
+        locally_biased: bool = True,
+        f_target: float | None = None,
+        size_tolerance: float = 1e-8,
+    ) -> None:
+        if max_evaluations < 1:
+            raise ValueError(f"max_evaluations must be >= 1, got {max_evaluations}")
+        self.max_evaluations = int(max_evaluations)
+        self.max_iterations = int(max_iterations)
+        self.locally_biased = bool(locally_biased)
+        self.f_target = f_target
+        self.size_tolerance = float(size_tolerance)
+
+    # -- geometry helpers --------------------------------------------------
+
+    def _size(self, rect: _Rect) -> float:
+        sides = rect.side_lengths()
+        if self.locally_biased:
+            return float(np.max(sides))  # longest side (Gablonsky)
+        return float(0.5 * np.linalg.norm(sides))  # half-diagonal (Jones)
+
+    @staticmethod
+    def _potentially_optimal(
+        groups: list[tuple[float, float, int]], f_best: float
+    ) -> list[int]:
+        """Lower-convex-hull selection over per-size (size, f, rect_index).
+
+        ``groups`` must be sorted by size ascending with one entry per
+        distinct size (the group's minimum f).  Returns rectangle indices.
+        """
+        hull: list[tuple[float, float, int]] = []
+        for point in groups:
+            while len(hull) >= 2:
+                (d1, f1, _), (d2, f2, _) = hull[-2], hull[-1]
+                d3, f3, _ = point
+                # keep the lower hull: pop if hull[-1] lies above chord 1-3
+                if (f2 - f1) * (d3 - d1) >= (f3 - f1) * (d2 - d1):
+                    hull.pop()
+                else:
+                    break
+            hull.append(point)
+        # drop small rectangles whose potential improvement is negligible
+        threshold = f_best - _EPS * abs(f_best)
+        kept: list[int] = []
+        for j, (d_j, f_j, idx) in enumerate(hull):
+            if j + 1 < len(hull):
+                d_next, f_next, _ = hull[j + 1]
+                slope = (f_next - f_j) / max(d_next - d_j, 1e-300)
+                if f_j - slope * d_j > threshold:
+                    continue
+            kept.append(idx)
+        if not kept:  # always divide at least the largest rectangle
+            kept = [hull[-1][2]]
+        return kept
+
+    # -- main loop -----------------------------------------------------------
+
+    def _minimize(
+        self,
+        fun: Objective,
+        lower: np.ndarray,
+        upper: np.ndarray,
+        x0: np.ndarray | None,
+    ) -> OptimizationResult:
+        dim = lower.shape[0]
+        span = upper - lower
+        counted = CountingObjective(fun)
+
+        def eval_unit(u: np.ndarray) -> float:
+            return counted(lower + u * span)
+
+        center = np.full(dim, 0.5)
+        root = _Rect(center=center, f=eval_unit(center), levels=np.zeros(dim, dtype=int))
+        root.size = self._size(root)
+        rects: list[_Rect] = [root]
+        message = "max iterations reached"
+        success = False
+        iteration = 0
+
+        for iteration in range(1, self.max_iterations + 1):
+            if self._done(counted):
+                message, success = self._stop_reason(counted)
+                break
+
+            # group rectangles by (cached) size measure, per-size minimum
+            by_size: dict[float, tuple[float, int]] = {}
+            for i, rect in enumerate(rects):
+                size = round(rect.size, 12)
+                best = by_size.get(size)
+                if best is None or rect.f < best[0]:
+                    by_size[size] = (rect.f, i)
+            groups = sorted(
+                (size, f, idx) for size, (f, idx) in by_size.items()
+            )
+            if groups[-1][0] < self.size_tolerance:
+                message, success = "size tolerance reached", True
+                break
+
+            selected = self._potentially_optimal(groups, counted.best_f)
+            budget_exhausted = False
+            for rect_idx in selected:
+                if self._done(counted):
+                    budget_exhausted = True
+                    break
+                self._divide(rects, rect_idx, eval_unit, counted)
+            if budget_exhausted:
+                message, success = self._stop_reason(counted)
+                break
+        else:
+            iteration = self.max_iterations
+
+        if counted.best_x is None:  # pragma: no cover - budget >= 1 guards this
+            raise RuntimeError("DIRECT made no evaluations")
+        if self._done(counted) and not success:
+            message, success = self._stop_reason(counted)
+        return OptimizationResult(
+            x=counted.best_x,
+            fun=counted.best_f,
+            n_evaluations=counted.n_evaluations,
+            n_iterations=iteration,
+            success=success,
+            message=message,
+            history=list(counted.history),
+        )
+
+    def _done(self, counted: CountingObjective) -> bool:
+        # a division costs two evaluations, so one remaining slot is as
+        # exhausted as zero — without this the loop would spin eval-free
+        if counted.n_evaluations + 2 > self.max_evaluations:
+            return True
+        return self.f_target is not None and counted.best_f <= self.f_target
+
+    def _stop_reason(self, counted: CountingObjective) -> tuple[str, bool]:
+        if self.f_target is not None and counted.best_f <= self.f_target:
+            return "f_target reached", True
+        return "evaluation budget exhausted", False
+
+    def _divide(
+        self,
+        rects: list[_Rect],
+        rect_idx: int,
+        eval_unit,
+        counted: CountingObjective,
+    ) -> None:
+        """Trisect ``rects[rect_idx]`` along its longest side(s)."""
+        rect = rects[rect_idx]
+        min_level = int(np.min(rect.levels))
+        longest = np.flatnonzero(rect.levels == min_level)
+        if self.locally_biased:
+            longest = longest[:1]  # single longest side (DIRECT-L)
+
+        delta = 3.0 ** (-(min_level + 1))
+        samples: list[tuple[int, float, float, np.ndarray, np.ndarray]] = []
+        for k in longest:
+            if counted.n_evaluations + 2 > self.max_evaluations:
+                break
+            plus = rect.center.copy()
+            plus[k] += delta
+            minus = rect.center.copy()
+            minus[k] -= delta
+            f_plus = eval_unit(plus)
+            f_minus = eval_unit(minus)
+            samples.append((int(k), f_plus, f_minus, plus, minus))
+        if not samples:
+            return
+
+        # divide best-w dimension first so it receives the largest children
+        samples.sort(key=lambda item: min(item[1], item[2]))
+        levels = rect.levels.copy()
+        for k, f_plus, f_minus, plus, minus in samples:
+            levels[k] += 1
+            for child_center, child_f in ((plus, f_plus), (minus, f_minus)):
+                child = _Rect(center=child_center, f=child_f, levels=levels.copy())
+                child.size = self._size(child)
+                rects.append(child)
+        rect.levels = levels
+        rect.size = self._size(rect)

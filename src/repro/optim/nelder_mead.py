@@ -1,0 +1,130 @@
+"""Bounded Nelder-Mead simplex search.
+
+An alternative gradient-free local optimizer used in ablations and as a
+cross-check for :class:`repro.optim.cobyla.Cobyla`.  Reflection, expansion,
+contraction and shrink follow the classic (1, 2, 0.5, 0.5) coefficients;
+proposed points are clipped into the box.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.base import CountingObjective, Objective, Optimizer
+from repro.optim.result import OptimizationResult
+
+
+class NelderMead(Optimizer):
+    """Classic downhill simplex with box clipping.
+
+    Parameters
+    ----------
+    max_evaluations:
+        Objective evaluation budget.
+    f_tolerance:
+        Convergence when the simplex f-spread falls below this.
+    x_tolerance:
+        Convergence when the simplex diameter falls below this.
+    initial_scale:
+        Starting simplex edge length as a fraction of each box side.
+    """
+
+    def __init__(
+        self,
+        max_evaluations: int = 5000,
+        f_tolerance: float = 1e-10,
+        x_tolerance: float = 1e-10,
+        initial_scale: float = 0.1,
+    ) -> None:
+        if max_evaluations < 2:
+            raise ValueError(f"max_evaluations must be >= 2, got {max_evaluations}")
+        if not 0 < initial_scale <= 1:
+            raise ValueError(f"initial_scale must be in (0, 1], got {initial_scale}")
+        self.max_evaluations = int(max_evaluations)
+        self.f_tolerance = float(f_tolerance)
+        self.x_tolerance = float(x_tolerance)
+        self.initial_scale = float(initial_scale)
+
+    def _minimize(
+        self,
+        fun: Objective,
+        lower: np.ndarray,
+        upper: np.ndarray,
+        x0: np.ndarray | None,
+    ) -> OptimizationResult:
+        dim = lower.shape[0]
+        span = upper - lower
+        counted = CountingObjective(fun)
+        if x0 is None:
+            x0 = 0.5 * (lower + upper)
+
+        def clip(x: np.ndarray) -> np.ndarray:
+            return np.clip(x, lower, upper)
+
+        V = [clip(x0)]
+        for k in range(dim):
+            step = np.zeros(dim)
+            delta = self.initial_scale * span[k]
+            step[k] = delta if x0[k] + delta <= upper[k] else -delta
+            V.append(clip(x0 + step))
+        V = np.array(V)
+        if counted.n_evaluations + dim + 1 > self.max_evaluations:
+            f0 = counted(V[0])
+            return OptimizationResult(
+                x=V[0], fun=f0, n_evaluations=counted.n_evaluations,
+                n_iterations=0, success=False,
+                message="evaluation budget below simplex size",
+                history=list(counted.history),
+            )
+        f = np.array([counted(v) for v in V])
+
+        iteration = 0
+        message = "evaluation budget exhausted"
+        success = False
+        while counted.n_evaluations < self.max_evaluations:
+            iteration += 1
+            order = np.argsort(f)
+            V, f = V[order], f[order]
+            if (f[-1] - f[0] < self.f_tolerance
+                    and np.max(np.abs(V - V[0])) < self.x_tolerance):
+                message, success = "simplex converged", True
+                break
+
+            centroid = np.mean(V[:-1], axis=0)
+            reflected = clip(centroid + (centroid - V[-1]))
+            f_r = counted(reflected)
+            if f_r < f[0]:
+                if counted.n_evaluations >= self.max_evaluations:
+                    break
+                expanded = clip(centroid + 2.0 * (centroid - V[-1]))
+                f_e = counted(expanded)
+                if f_e < f_r:
+                    V[-1], f[-1] = expanded, f_e
+                else:
+                    V[-1], f[-1] = reflected, f_r
+            elif f_r < f[-2]:
+                V[-1], f[-1] = reflected, f_r
+            else:
+                if counted.n_evaluations >= self.max_evaluations:
+                    break
+                contracted = clip(centroid + 0.5 * (V[-1] - centroid))
+                f_c = counted(contracted)
+                if f_c < f[-1]:
+                    V[-1], f[-1] = contracted, f_c
+                else:
+                    # shrink toward the best vertex
+                    if counted.n_evaluations + dim > self.max_evaluations:
+                        break
+                    for i in range(1, dim + 1):
+                        V[i] = clip(V[0] + 0.5 * (V[i] - V[0]))
+                        f[i] = counted(V[i])
+
+        return OptimizationResult(
+            x=counted.best_x,
+            fun=counted.best_f,
+            n_evaluations=counted.n_evaluations,
+            n_iterations=iteration,
+            success=success,
+            message=message,
+            history=list(counted.history),
+        )

@@ -1,0 +1,45 @@
+"""Uniform random search baseline over a box."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.base import CountingObjective, Objective, Optimizer
+from repro.optim.result import OptimizationResult
+from repro.utils.rng import SeedLike, as_generator
+
+
+class RandomSearch(Optimizer):
+    """Evaluate i.i.d. uniform points and keep the best.
+
+    Serves as the weakest baseline for optimizer comparisons and as a
+    robustness fallback inside acquisition optimization.
+    """
+
+    def __init__(self, max_evaluations: int = 1000, seed: SeedLike = None) -> None:
+        if max_evaluations < 1:
+            raise ValueError(f"max_evaluations must be >= 1, got {max_evaluations}")
+        self.max_evaluations = int(max_evaluations)
+        self._rng = as_generator(seed)
+
+    def _minimize(
+        self,
+        fun: Objective,
+        lower: np.ndarray,
+        upper: np.ndarray,
+        x0: np.ndarray | None,
+    ) -> OptimizationResult:
+        counted = CountingObjective(fun)
+        if x0 is not None:
+            counted(x0)
+        while counted.n_evaluations < self.max_evaluations:
+            counted(self._rng.uniform(lower, upper))
+        return OptimizationResult(
+            x=counted.best_x,
+            fun=counted.best_f,
+            n_evaluations=counted.n_evaluations,
+            n_iterations=counted.n_evaluations,
+            success=False,
+            message="evaluation budget exhausted",
+            history=list(counted.history),
+        )

@@ -1,0 +1,26 @@
+"""Sampling baselines: MC, SSS, space-filling designs, statistical blockade."""
+
+from repro.sampling.blockade import (
+    BlockadeDiagnostics,
+    LogisticClassifier,
+    StatisticalBlockade,
+)
+from repro.sampling.designs import halton, latin_hypercube
+from repro.sampling.monte_carlo import MonteCarloSampler
+from repro.sampling.sss import (
+    NOMINAL_SIGMA_FRACTION,
+    ScaledSigmaSampler,
+    SSSModelFit,
+)
+
+__all__ = [
+    "MonteCarloSampler",
+    "ScaledSigmaSampler",
+    "SSSModelFit",
+    "NOMINAL_SIGMA_FRACTION",
+    "latin_hypercube",
+    "halton",
+    "StatisticalBlockade",
+    "LogisticClassifier",
+    "BlockadeDiagnostics",
+]

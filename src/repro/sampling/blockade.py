@@ -1,0 +1,190 @@
+"""Statistical blockade (Singhee & Rutenbar 2009) — extension baseline.
+
+The paper's introduction cites statistical blockade [15] among the prior
+smart-sampling art; it is included here as an extra comparator.  The method:
+
+1. simulate a small pilot Monte-Carlo set,
+2. set a *blockade threshold* at a tail quantile of the pilot performances,
+3. train a cheap classifier to predict whether a candidate lands in the
+   tail, with the decision boundary relaxed by a safety margin,
+4. stream a large candidate set through the classifier and simulate only
+   the unblocked (predicted-tail) candidates.
+
+The classifier is a from-scratch ridge-regularized logistic regression
+(IRLS); no external ML dependency is used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.bo.records import RunResult
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.timing import Timer
+from repro.utils.validation import as_matrix, as_vector, check_bounds
+
+
+class LogisticClassifier:
+    """Ridge-regularized logistic regression fit by IRLS.
+
+    Small, dense and deterministic — adequate for blockade filtering where
+    the classifier only needs to be conservative, not accurate.
+    """
+
+    def __init__(self, ridge: float = 1e-3, max_iter: int = 50, tol: float = 1e-8):
+        if ridge < 0:
+            raise ValueError(f"ridge must be non-negative, got {ridge}")
+        self.ridge = float(ridge)
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.weights_: np.ndarray | None = None
+
+    @staticmethod
+    def _design(X: np.ndarray) -> np.ndarray:
+        return np.column_stack([np.ones(X.shape[0]), X])
+
+    def fit(self, X, labels) -> "LogisticClassifier":
+        X = as_matrix(X)
+        t = as_vector(labels, X.shape[0])
+        if not np.all(np.isin(t, (0.0, 1.0))):
+            raise ValueError("labels must be 0/1")
+        phi = self._design(X)
+        w = np.zeros(phi.shape[1])
+        for _ in range(self.max_iter):
+            logits = np.clip(phi @ w, -35, 35)
+            p = 1.0 / (1.0 + np.exp(-logits))
+            R = np.maximum(p * (1.0 - p), 1e-9)
+            H = phi.T @ (phi * R[:, None]) + self.ridge * np.eye(phi.shape[1])
+            grad = phi.T @ (p - t) + self.ridge * w
+            step = np.linalg.solve(H, grad)
+            w -= step
+            if np.max(np.abs(step)) < self.tol:
+                break
+        self.weights_ = w
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        if self.weights_ is None:
+            raise RuntimeError("classifier has not been fitted")
+        phi = self._design(as_matrix(X))
+        return 1.0 / (1.0 + np.exp(-np.clip(phi @ self.weights_, -35, 35)))
+
+
+@dataclass
+class BlockadeDiagnostics:
+    """Filtering statistics of one blockade run."""
+
+    pilot_size: int
+    candidate_size: int
+    n_unblocked: int
+    blockade_threshold: float
+
+
+class StatisticalBlockade:
+    """Blockade-filtered rare-event sampling.
+
+    Parameters
+    ----------
+    pilot_samples:
+        Pilot MC simulations used to train the classifier.
+    candidate_samples:
+        Candidate points streamed through the classifier.
+    tail_quantile:
+        Pilot quantile defining "tail" (on the minimization orientation,
+        lower = worse, so the tail is the *low* quantile).
+    margin_quantile:
+        Relaxed quantile used for classifier training labels; must be
+        larger than ``tail_quantile`` so the classifier errs unblocked.
+    probability_cutoff:
+        Candidates with tail probability above this are simulated.
+    """
+
+    def __init__(
+        self,
+        pilot_samples: int = 200,
+        candidate_samples: int = 2000,
+        tail_quantile: float = 0.02,
+        margin_quantile: float = 0.1,
+        probability_cutoff: float = 0.2,
+        seed: SeedLike = None,
+    ) -> None:
+        if pilot_samples < 10:
+            raise ValueError(f"pilot_samples must be >= 10, got {pilot_samples}")
+        if candidate_samples < 1:
+            raise ValueError(
+                f"candidate_samples must be >= 1, got {candidate_samples}"
+            )
+        if not 0 < tail_quantile < margin_quantile < 1:
+            raise ValueError(
+                "need 0 < tail_quantile < margin_quantile < 1, got "
+                f"{tail_quantile}, {margin_quantile}"
+            )
+        if not 0 < probability_cutoff < 1:
+            raise ValueError(
+                f"probability_cutoff must be in (0, 1), got {probability_cutoff}"
+            )
+        self.pilot_samples = int(pilot_samples)
+        self.candidate_samples = int(candidate_samples)
+        self.tail_quantile = float(tail_quantile)
+        self.margin_quantile = float(margin_quantile)
+        self.probability_cutoff = float(probability_cutoff)
+        self._rng = as_generator(seed)
+
+    def run(
+        self,
+        objective: Callable[[np.ndarray], float],
+        bounds,
+        threshold: float | None = None,
+    ) -> RunResult:
+        """Pilot, train, filter, simulate unblocked candidates.
+
+        The result's ``extra["blockade"]`` holds a
+        :class:`BlockadeDiagnostics`; total simulations = pilot plus
+        unblocked candidates.
+        """
+        lower, upper = check_bounds(bounds)
+        dim = lower.shape[0]
+        timer = Timer().start()
+
+        pilot_X = self._rng.uniform(lower, upper, size=(self.pilot_samples, dim))
+        pilot_y = np.array([float(objective(x)) for x in pilot_X])
+
+        blockade_threshold = float(np.quantile(pilot_y, self.tail_quantile))
+        margin_threshold = float(np.quantile(pilot_y, self.margin_quantile))
+        labels = (pilot_y <= margin_threshold).astype(float)
+
+        candidates = self._rng.uniform(
+            lower, upper, size=(self.candidate_samples, dim)
+        )
+        if labels.min() == labels.max():
+            # degenerate pilot (all one class): nothing can be learned,
+            # simulate every candidate rather than block blindly
+            unblocked = candidates
+        else:
+            classifier = LogisticClassifier().fit(pilot_X, labels)
+            proba = classifier.predict_proba(candidates)
+            unblocked = candidates[proba >= self.probability_cutoff]
+
+        extra_y = np.array([float(objective(x)) for x in unblocked])
+        timer.stop()
+
+        X = np.vstack([pilot_X, unblocked]) if unblocked.size else pilot_X
+        y = np.concatenate([pilot_y, extra_y])
+        return RunResult(
+            X=X,
+            y=y,
+            n_init=self.pilot_samples,
+            method="Blockade",
+            runtime_seconds=timer.elapsed,
+            extra={
+                "blockade": BlockadeDiagnostics(
+                    pilot_size=self.pilot_samples,
+                    candidate_size=self.candidate_samples,
+                    n_unblocked=int(unblocked.shape[0]),
+                    blockade_threshold=blockade_threshold,
+                )
+            },
+        )

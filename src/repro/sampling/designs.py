@@ -1,0 +1,75 @@
+"""Space-filling designs: Latin hypercube and Halton sequences.
+
+Used for initial BO designs in ablations and for the MNA-engine examples;
+both are implemented from scratch (no scipy.qmc dependency).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_bounds
+
+
+def latin_hypercube(
+    n_samples: int, bounds, seed: SeedLike = None
+) -> np.ndarray:
+    """A random Latin-hypercube design: one sample per axis stratum.
+
+    Each dimension's ``[lo, hi]`` range is split into ``n_samples`` equal
+    strata; every stratum contains exactly one point, at an independently
+    uniform position, with strata permuted independently per dimension.
+    """
+    if n_samples < 1:
+        raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+    lower, upper = check_bounds(bounds)
+    dim = lower.shape[0]
+    rng = as_generator(seed)
+    unit = np.empty((n_samples, dim))
+    for k in range(dim):
+        strata = (rng.permutation(n_samples) + rng.uniform(size=n_samples)) / n_samples
+        unit[:, k] = strata
+    return lower + unit * (upper - lower)
+
+
+def _primes(count: int) -> list[int]:
+    """The first ``count`` primes (trial division; count is small)."""
+    primes: list[int] = []
+    candidate = 2
+    while len(primes) < count:
+        if all(candidate % p for p in primes):
+            primes.append(candidate)
+        candidate += 1
+    return primes
+
+
+def _van_der_corput(n: int, base: int) -> float:
+    """The ``n``-th element of the van der Corput sequence in ``base``."""
+    value, denom = 0.0, 1.0
+    while n:
+        n, digit = divmod(n, base)
+        denom *= base
+        value += digit / denom
+    return value
+
+
+def halton(n_samples: int, bounds, skip: int = 20) -> np.ndarray:
+    """A Halton low-discrepancy design over the box.
+
+    ``skip`` drops the first (most correlated) elements of each coordinate
+    sequence, the usual leap for moderate dimensions.
+    """
+    if n_samples < 1:
+        raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+    if skip < 0:
+        raise ValueError(f"skip must be non-negative, got {skip}")
+    lower, upper = check_bounds(bounds)
+    dim = lower.shape[0]
+    bases = _primes(dim)
+    unit = np.empty((n_samples, dim))
+    for k, base in enumerate(bases):
+        unit[:, k] = [
+            _van_der_corput(i + 1 + skip, base) for i in range(n_samples)
+        ]
+    return lower + unit * (upper - lower)

@@ -1,0 +1,69 @@
+"""Uniform Monte-Carlo failure hunting (the paper's "MC" baseline).
+
+Section 5.1: "To maximize the possibility of hitting rare failures within
+the large hyper-cube, uniform sampling distribution is adopted for MC."
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.bo.records import RunResult
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.timing import Timer
+from repro.utils.validation import check_bounds
+
+
+class MonteCarloSampler:
+    """Evaluate ``n_samples`` i.i.d. uniform points inside the box.
+
+    Parameters
+    ----------
+    n_samples:
+        Simulation budget.
+    stop_on_failure:
+        Terminate at the first ``y < threshold`` observation.
+    """
+
+    def __init__(
+        self,
+        n_samples: int,
+        stop_on_failure: bool = False,
+        seed: SeedLike = None,
+    ) -> None:
+        if n_samples < 1:
+            raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+        self.n_samples = int(n_samples)
+        self.stop_on_failure = bool(stop_on_failure)
+        self._rng = as_generator(seed)
+
+    def run(
+        self,
+        objective: Callable[[np.ndarray], float],
+        bounds,
+        threshold: float | None = None,
+    ) -> RunResult:
+        lower, upper = check_bounds(bounds)
+        timer = Timer().start()
+        X = self._rng.uniform(lower, upper, size=(self.n_samples, lower.shape[0]))
+        ys = []
+        for x in X:
+            value = float(objective(x))
+            ys.append(value)
+            if (
+                self.stop_on_failure
+                and threshold is not None
+                and value < threshold
+            ):
+                break
+        timer.stop()
+        n = len(ys)
+        return RunResult(
+            X=X[:n],
+            y=np.asarray(ys),
+            n_init=n,
+            method="MC",
+            runtime_seconds=timer.elapsed,
+        )

@@ -1,0 +1,25 @@
+"""Synthetic objectives (paper Eq. 10 and embedded-subspace test functions)."""
+
+from repro.synthetic.functions import (
+    EmbeddedFunction,
+    RareFailureFunction,
+    branin,
+    random_orthonormal,
+    rastrigin,
+    rosenbrock,
+    sphere,
+    styblinski_tang,
+    ysyn,
+)
+
+__all__ = [
+    "ysyn",
+    "sphere",
+    "branin",
+    "styblinski_tang",
+    "rosenbrock",
+    "rastrigin",
+    "random_orthonormal",
+    "EmbeddedFunction",
+    "RareFailureFunction",
+]

@@ -1,0 +1,32 @@
+"""Shared utilities: RNG plumbing, validation, timing, table rendering."""
+
+from repro.utils.rng import SeedLike, as_generator, spawn
+from repro.utils.tables import (
+    format_count,
+    format_sim_budget,
+    render_table,
+)
+from repro.utils.timing import Timer, format_duration
+from repro.utils.validation import (
+    as_float_array,
+    as_matrix,
+    as_vector,
+    check_bounds,
+    unit_cube_bounds,
+)
+
+__all__ = [
+    "SeedLike",
+    "as_generator",
+    "spawn",
+    "as_float_array",
+    "as_matrix",
+    "as_vector",
+    "check_bounds",
+    "unit_cube_bounds",
+    "Timer",
+    "format_duration",
+    "render_table",
+    "format_count",
+    "format_sim_budget",
+]

@@ -1,0 +1,65 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benchmark scripts print rows shaped like the paper's Tables 1 and 2;
+this module owns the monospace formatting so every bench renders the same
+way.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table.
+
+    Every cell is converted with ``str``; column widths adapt to content.
+    """
+    header_cells = [str(h) for h in headers]
+    body = [[str(c) for c in row] for row in rows]
+    for i, row in enumerate(body):
+        if len(row) != len(header_cells):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(header_cells)}"
+            )
+    widths = [len(h) for h in header_cells]
+    for row in body:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(fmt_row(header_cells))
+    lines.append(sep)
+    lines.extend(fmt_row(row) for row in body)
+    return "\n".join(lines)
+
+
+def format_count(count: int) -> str:
+    """Format a simulation count with thousands separators (``649,000``)."""
+    return f"{count:,}"
+
+
+def format_sim_budget(n_init: int, n_seq: int, batch: int | None = None) -> str:
+    """Format a BO simulation budget in the paper's notation.
+
+    ``5 + 95`` renders as ``5init + 95seq``; with ``batch`` given,
+    ``5init + 5x19batch``.
+    """
+    if batch is not None:
+        if batch <= 0 or n_seq % batch:
+            raise ValueError(
+                f"sequential budget {n_seq} is not a multiple of batch {batch}"
+            )
+        return f"{n_init}init + {n_seq // batch}x{batch}batch"
+    return f"{n_init}init + {n_seq}seq"

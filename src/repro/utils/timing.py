@@ -1,0 +1,61 @@
+"""Wall-clock timing utilities for the experiment harness.
+
+The paper's Tables 1 and 2 report total runtime per method; these helpers
+record and format those durations consistently.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """A start/stop stopwatch that can be used as a context manager.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    _start: float | None = field(default=None, repr=False)
+    elapsed: float = 0.0
+
+    def start(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def format_duration(seconds: float) -> str:
+    """Format seconds in the paper's ``XhYYmZZs`` style.
+
+    Sub-minute durations keep fractional seconds (``12.3s``), otherwise the
+    value is broken into hours/minutes/seconds like ``4h22m07s``.
+    """
+    if seconds < 0:
+        raise ValueError(f"duration must be non-negative, got {seconds}")
+    if seconds < 60:
+        return f"{seconds:.2f}s"
+    total = int(round(seconds))
+    hours, rem = divmod(total, 3600)
+    minutes, secs = divmod(rem, 60)
+    if hours:
+        return f"{hours}h{minutes:02d}m{secs:02d}s"
+    return f"{minutes}m{secs:02d}s"

@@ -1,0 +1,17 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_dataset(rng):
+    """A small smooth regression dataset in 3-D."""
+    X = rng.uniform(-1.0, 1.0, size=(25, 3))
+    y = np.sin(2.0 * X[:, 0]) + 0.5 * X[:, 1] ** 2 - 0.3 * X[:, 2]
+    return X, y

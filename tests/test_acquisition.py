@@ -1,0 +1,153 @@
+"""Tests for the acquisition functions and their optimization."""
+
+import numpy as np
+import pytest
+
+from repro.acquisition import (
+    ExpectedImprovement,
+    LowerConfidenceBound,
+    ProbabilityOfImprovement,
+    WeightedAcquisition,
+    default_acquisition_optimizer,
+    optimize_acquisition,
+    pbo_weights,
+)
+from repro.gp import GaussianProcess
+from repro.kernels import Matern52, SquaredExponential
+
+
+@pytest.fixture
+def fitted_gp(rng):
+    X = rng.uniform(-1, 1, (15, 2))
+    y = np.sum(X**2, axis=1)
+    return GaussianProcess(Matern52(dim=2), noise_variance=1e-4).fit(X, y)
+
+
+class TestConventions:
+    """All acquisitions are minimized: lower value = better sample point."""
+
+    def test_requires_fitted_gp(self):
+        gp = GaussianProcess(SquaredExponential())
+        for cls in (ProbabilityOfImprovement, ExpectedImprovement):
+            with pytest.raises(RuntimeError):
+                cls(gp)
+
+    def test_incumbent_is_min_label(self, fitted_gp):
+        acq = ExpectedImprovement(fitted_gp)
+        assert acq.incumbent == pytest.approx(fitted_gp.y_train.min())
+
+    def test_scalar_call_matches_evaluate(self, fitted_gp):
+        acq = LowerConfidenceBound(fitted_gp, kappa=2.0)
+        x = np.array([0.3, -0.3])
+        assert acq(x) == pytest.approx(acq.evaluate(x[None, :])[0])
+
+
+class TestExpectedImprovement:
+    def test_nonpositive_everywhere(self, fitted_gp, rng):
+        acq = ExpectedImprovement(fitted_gp)
+        values = acq.evaluate(rng.uniform(-1, 1, (50, 2)))
+        assert np.all(values <= 0.0)
+
+    def test_prefers_low_mean_region(self, fitted_gp):
+        """EI near the bowl minimum beats EI at the rim."""
+        acq = ExpectedImprovement(fitted_gp)
+        assert acq(np.array([0.0, 0.0])) <= acq(np.array([0.95, 0.95]))
+
+    def test_zero_at_well_sampled_worse_point(self, fitted_gp):
+        acq = ExpectedImprovement(fitted_gp)
+        worst_idx = int(np.argmax(fitted_gp.y_train))
+        assert acq(fitted_gp.X_train[worst_idx]) == pytest.approx(0.0, abs=1e-6)
+
+    def test_xi_reduces_improvement(self, fitted_gp):
+        plain = ExpectedImprovement(fitted_gp, xi=0.0)
+        margin = ExpectedImprovement(fitted_gp, xi=0.5)
+        x = np.array([0.1, 0.1])
+        assert margin(x) >= plain(x)
+
+    def test_negative_xi_rejected(self, fitted_gp):
+        with pytest.raises(ValueError):
+            ExpectedImprovement(fitted_gp, xi=-0.1)
+
+
+class TestProbabilityOfImprovement:
+    def test_range(self, fitted_gp, rng):
+        acq = ProbabilityOfImprovement(fitted_gp)
+        values = acq.evaluate(rng.uniform(-1, 1, (50, 2)))
+        assert np.all(values <= 0.0) and np.all(values >= -1.0)
+
+
+class TestLowerConfidenceBound:
+    def test_equals_mean_minus_kappa_sigma(self, fitted_gp):
+        acq = LowerConfidenceBound(fitted_gp, kappa=1.7)
+        x = np.array([[0.4, 0.4]])
+        pred = fitted_gp.predict(x)
+        assert acq.evaluate(x)[0] == pytest.approx(
+            pred.mean[0] - 1.7 * pred.std[0]
+        )
+
+    def test_kappa_zero_is_pure_mean(self, fitted_gp):
+        acq = LowerConfidenceBound(fitted_gp, kappa=0.0)
+        x = np.array([[0.2, -0.6]])
+        assert acq.evaluate(x)[0] == pytest.approx(fitted_gp.predict(x).mean[0])
+
+
+class TestWeightedAcquisition:
+    def test_eq9_formula(self, fitted_gp):
+        acq = WeightedAcquisition(fitted_gp, weight=0.3)
+        x = np.array([[0.5, 0.1]])
+        pred = fitted_gp.predict(x)
+        expected = 0.7 * pred.mean[0] - 0.3 * pred.std[0]
+        assert acq.evaluate(x)[0] == pytest.approx(expected)
+
+    def test_w0_is_pure_exploitation(self, fitted_gp):
+        acq = WeightedAcquisition(fitted_gp, weight=0.0)
+        x = np.array([[0.5, 0.1]])
+        assert acq.evaluate(x)[0] == pytest.approx(fitted_gp.predict(x).mean[0])
+
+    def test_w1_is_pure_exploration(self, fitted_gp):
+        acq = WeightedAcquisition(fitted_gp, weight=1.0)
+        x = np.array([[0.5, 0.1]])
+        assert acq.evaluate(x)[0] == pytest.approx(-fitted_gp.predict(x).std[0])
+
+    def test_weight_bounds(self, fitted_gp):
+        for bad in (-0.1, 1.1):
+            with pytest.raises(ValueError):
+                WeightedAcquisition(fitted_gp, weight=bad)
+
+
+class TestPboWeights:
+    def test_spans_zero_to_one(self):
+        w = pbo_weights(5)
+        assert w[0] == 0.0 and w[-1] == 1.0
+        assert len(w) == 5
+
+    def test_single_weight_balanced(self):
+        np.testing.assert_array_equal(pbo_weights(1), [0.5])
+
+    def test_monotone(self):
+        w = pbo_weights(19)
+        assert np.all(np.diff(w) > 0)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            pbo_weights(0)
+
+
+class TestOptimizeAcquisition:
+    def test_finds_bowl_minimum(self, fitted_gp):
+        """Pure exploitation on a bowl-shaped posterior goes to the middle."""
+        acq = WeightedAcquisition(fitted_gp, weight=0.0)
+        bounds = np.array([[-1.0, 1.0], [-1.0, 1.0]])
+        result = optimize_acquisition(acq, bounds)
+        assert np.linalg.norm(result.x) < 0.3
+
+    def test_counts_acquisition_evaluations(self, fitted_gp):
+        acq = ExpectedImprovement(fitted_gp)
+        bounds = np.array([[-1.0, 1.0], [-1.0, 1.0]])
+        optimizer = default_acquisition_optimizer(2, global_budget=50, local_budget=30)
+        result = optimize_acquisition(acq, bounds, optimizer=optimizer)
+        assert 0 < result.n_evaluations <= 90
+
+    def test_default_optimizer_validation(self):
+        with pytest.raises(ValueError):
+            default_acquisition_optimizer(0)

@@ -1,0 +1,215 @@
+"""Tests for exact GP regression (paper Eqs. 5-8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gp import ConstantMean, GaussianProcess, ZeroMean
+from repro.kernels import Matern52, SquaredExponential
+
+
+def make_gp(noise=1e-8, **kwargs):
+    return GaussianProcess(SquaredExponential(dim=1), noise_variance=noise, **kwargs)
+
+
+class TestFitPredict:
+    def test_interpolates_with_tiny_noise(self):
+        X = np.linspace(-1, 1, 7)[:, None]
+        y = np.sin(3 * X[:, 0])
+        gp = make_gp().fit(X, y)
+        pred = gp.predict(X)
+        np.testing.assert_allclose(pred.mean, y, atol=1e-4)
+        assert np.all(pred.variance < 1e-4)
+
+    def test_uncertainty_grows_away_from_data(self):
+        X = np.zeros((1, 1))
+        gp = make_gp().fit(X, [0.0])
+        near = gp.predict([[0.1]]).variance[0]
+        far = gp.predict([[3.0]]).variance[0]
+        assert far > near
+
+    def test_variance_nonnegative(self, rng):
+        X = rng.uniform(-1, 1, (30, 2))
+        y = rng.standard_normal(30)
+        gp = GaussianProcess(Matern52(dim=2), noise_variance=1e-6).fit(X, y)
+        pred = gp.predict(rng.uniform(-1, 1, (50, 2)))
+        assert np.all(pred.variance >= 0)
+
+    def test_prior_reversion_far_away(self):
+        gp = make_gp().fit([[0.0]], [5.0])
+        pred = gp.predict([[100.0]])
+        assert pred.mean[0] == pytest.approx(0.0, abs=1e-6)  # zero prior mean
+        assert pred.variance[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_constant_mean(self):
+        gp = GaussianProcess(
+            SquaredExponential(dim=1), noise_variance=1e-8, mean=ConstantMean(2.0)
+        ).fit([[0.0]], [2.0])
+        pred = gp.predict([[50.0]])
+        assert pred.mean[0] == pytest.approx(2.0, abs=1e-6)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            make_gp().predict([[0.0]])
+
+    def test_std_is_sqrt_variance(self, small_dataset):
+        X, y = small_dataset
+        gp = GaussianProcess(Matern52(dim=3), noise_variance=1e-4).fit(X, y)
+        pred = gp.predict(X[:5])
+        np.testing.assert_allclose(pred.std, np.sqrt(pred.variance))
+
+
+class TestAddData:
+    def test_incremental_matches_batch(self, small_dataset):
+        X, y = small_dataset
+        gp_batch = GaussianProcess(Matern52(dim=3), noise_variance=1e-4).fit(X, y)
+        gp_inc = GaussianProcess(Matern52(dim=3), noise_variance=1e-4)
+        gp_inc.fit(X[:10], y[:10]).add_data(X[10:], y[10:])
+        test = X[:3] + 0.05
+        np.testing.assert_allclose(
+            gp_inc.predict(test).mean, gp_batch.predict(test).mean, atol=1e-10
+        )
+
+    def test_add_data_without_fit_fits(self):
+        gp = make_gp()
+        gp.add_data([[0.0]], [1.0])
+        assert gp.is_fitted
+
+    def test_dim_mismatch_rejected(self, small_dataset):
+        X, y = small_dataset
+        gp = GaussianProcess(Matern52(dim=3), noise_variance=1e-4).fit(X, y)
+        with pytest.raises(ValueError):
+            gp.add_data(np.zeros((1, 2)), [0.0])
+
+
+class TestPredictCov:
+    def test_cov_diag_matches_variance(self, small_dataset):
+        X, y = small_dataset
+        gp = GaussianProcess(Matern52(dim=3), noise_variance=1e-4).fit(X, y)
+        test = X[:6] * 0.9
+        pred = gp.predict(test)
+        _, cov = gp.predict_cov(test)
+        np.testing.assert_allclose(np.diag(cov), pred.variance, atol=1e-8)
+
+    def test_cov_symmetric_psd(self, small_dataset):
+        X, y = small_dataset
+        gp = GaussianProcess(Matern52(dim=3), noise_variance=1e-4).fit(X, y)
+        _, cov = gp.predict_cov(X[:8] * 0.5)
+        np.testing.assert_allclose(cov, cov.T, atol=1e-10)
+        assert np.linalg.eigvalsh(cov).min() > -1e-8
+
+    def test_posterior_samples_shape(self, small_dataset, rng):
+        X, y = small_dataset
+        gp = GaussianProcess(Matern52(dim=3), noise_variance=1e-4).fit(X, y)
+        samples = gp.sample_posterior(X[:4], n_samples=5, rng=rng)
+        assert samples.shape == (5, 4)
+
+
+class TestLogMarginalLikelihood:
+    def test_matches_direct_formula(self, small_dataset):
+        X, y = small_dataset
+        noise = 1e-3
+        gp = GaussianProcess(Matern52(dim=3), noise_variance=noise).fit(X, y)
+        K = gp.kernel(X) + noise * np.eye(len(y))
+        direct = (
+            -0.5 * y @ np.linalg.solve(K, y)
+            - 0.5 * np.linalg.slogdet(K)[1]
+            - 0.5 * len(y) * np.log(2 * np.pi)
+        )
+        assert gp.log_marginal_likelihood() == pytest.approx(direct, rel=1e-9)
+
+    def test_gradient_matches_numeric(self, small_dataset):
+        X, y = small_dataset
+        gp = GaussianProcess(
+            Matern52(dim=3, ard=True), noise_variance=1e-2
+        ).fit(X, y)
+        analytic = gp.log_marginal_likelihood_gradient()
+        theta0 = gp.theta.copy()
+        eps = 1e-6
+        numeric = np.zeros_like(theta0)
+        for i in range(theta0.shape[0]):
+            tp = theta0.copy()
+            tp[i] += eps
+            gp.theta = tp
+            lp = gp.log_marginal_likelihood()
+            tm = theta0.copy()
+            tm[i] -= eps
+            gp.theta = tm
+            lm = gp.log_marginal_likelihood()
+            numeric[i] = (lp - lm) / (2 * eps)
+        gp.theta = theta0
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_gradient_without_noise_training(self, small_dataset):
+        X, y = small_dataset
+        gp = GaussianProcess(
+            Matern52(dim=3), noise_variance=1e-2, train_noise=False
+        ).fit(X, y)
+        grad = gp.log_marginal_likelihood_gradient()
+        assert grad.shape == (gp.kernel.n_params,)
+
+
+class TestDiagnostics:
+    def test_training_mse_small_for_interpolation(self):
+        X = np.linspace(-1, 1, 9)[:, None]
+        y = np.cos(2 * X[:, 0])
+        gp = make_gp().fit(X, y)
+        assert gp.training_mse() < 1e-6
+
+    def test_loo_mse_larger_than_training_mse(self, small_dataset):
+        X, y = small_dataset
+        gp = GaussianProcess(Matern52(dim=3), noise_variance=1e-3).fit(X, y)
+        assert gp.loo_mse() >= gp.training_mse()
+
+    def test_loo_residuals_match_refit(self, rng):
+        """The closed-form LOO residual equals actually leaving one out."""
+        X = rng.uniform(-1, 1, (10, 1))
+        y = np.sin(2 * X[:, 0])
+        noise = 1e-2
+        gp = GaussianProcess(
+            SquaredExponential(dim=1), noise_variance=noise
+        ).fit(X, y)
+        residuals = gp.loo_residuals()
+        i = 3
+        mask = np.arange(10) != i
+        gp_loo = GaussianProcess(
+            SquaredExponential(dim=1), noise_variance=noise
+        ).fit(X[mask], y[mask])
+        manual = y[i] - gp_loo.predict(X[i : i + 1]).mean[0]
+        assert residuals[i] == pytest.approx(manual, rel=1e-6)
+
+
+class TestThetaPlumbing:
+    def test_theta_includes_noise(self, small_dataset):
+        X, y = small_dataset
+        gp = GaussianProcess(Matern52(dim=3), noise_variance=1e-2).fit(X, y)
+        assert gp.theta.shape == (gp.kernel.n_params + 1,)
+        assert gp.theta[-1] == pytest.approx(np.log(1e-2))
+
+    def test_setting_theta_refits(self, small_dataset):
+        X, y = small_dataset
+        gp = GaussianProcess(Matern52(dim=3), noise_variance=1e-2).fit(X, y)
+        before = gp.predict(X[:1]).mean[0]
+        theta = gp.theta.copy()
+        theta[0] += 1.0
+        gp.theta = theta
+        after = gp.predict(X[:1]).mean[0]
+        assert before != after
+
+    def test_rejects_nonpositive_noise(self):
+        with pytest.raises(ValueError):
+            GaussianProcess(SquaredExponential(), noise_variance=0.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), n=st.integers(3, 20))
+def test_property_posterior_variance_never_exceeds_prior(seed, n):
+    """Conditioning on data can only reduce predictive variance."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-2, 2, (n, 2))
+    y = rng.standard_normal(n)
+    kernel = Matern52(dim=2, variance=1.3)
+    gp = GaussianProcess(kernel, noise_variance=1e-4).fit(X, y)
+    test = rng.uniform(-2, 2, (10, 2))
+    assert np.all(gp.predict(test).variance <= kernel.diag(test) + 1e-9)

@@ -1,0 +1,121 @@
+"""Cross-module integration tests: the full pipeline end to end."""
+
+import numpy as np
+import pytest
+
+from repro.acquisition import default_acquisition_optimizer
+from repro.bo import RemboBO, Specification, uniform_initial_design
+from repro.circuits.behavioral import UVLOTestbench
+from repro.embedding import select_embedding_dimension
+from repro.experiments import (
+    acquisition_weight_ablation,
+    embedding_dimension_sweep,
+    kernel_ablation,
+    projection_ablation,
+    uvlo_config,
+)
+from repro.sampling import MonteCarloSampler
+from repro.synthetic import RareFailureFunction
+from repro.utils.validation import unit_cube_bounds
+
+
+def tiny_optimizer(dim):
+    return default_acquisition_optimizer(dim, global_budget=80, local_budget=40)
+
+
+class TestSyntheticPipeline:
+    """Algorithm 2 then Algorithm 1 on a function with known structure."""
+
+    def test_dimension_selection_feeds_rembo(self):
+        fun = RareFailureFunction(14, 2, threshold=-1.0, depth=3.0,
+                                  radius=0.35, seed=3)
+        bounds = unit_cube_bounds(14)
+        X0 = uniform_initial_design(bounds, 15, seed=4)
+        y0 = np.array([fun(x) for x in X0])
+
+        selection = select_embedding_dimension(
+            X0, y0, dims=[1, 2, 3, 5], n_trials=3, seed=5
+        )
+        d = max(selection.selected_dim, 3)
+        engine = RemboBO(batch_size=5, embedding_dim=d, seed=6)
+        result = engine.run(
+            fun, bounds, n_batches=6, threshold=fun.threshold,
+            initial_data=(X0, y0),
+        )
+        summary = result.summarize(fun.threshold)
+        assert summary.detected
+        # failure log points actually fail when re-evaluated
+        for idx in summary.failure_indices[:3]:
+            assert fun(result.X[idx]) < fun.threshold
+
+    def test_rembo_beats_mc_at_equal_budget(self):
+        fun = RareFailureFunction(16, 3, threshold=-1.2, depth=3.0,
+                                  radius=0.28, center_fraction=0.55, seed=9)
+        bounds = unit_cube_bounds(16)
+        engine = RemboBO(batch_size=6, embedding_dim=4, seed=12)
+        rembo = engine.run(fun, bounds, n_init=10, n_batches=8,
+                           threshold=fun.threshold)
+        mc = MonteCarloSampler(rembo.n_evaluations, seed=12).run(
+            fun, bounds, threshold=fun.threshold
+        )
+        assert rembo.best_y <= mc.best_y
+        assert rembo.summarize(fun.threshold).detected
+        assert not mc.summarize(fun.threshold).detected
+
+
+class TestSpecObjectiveConsistency:
+    def test_testbench_objective_round_trip(self):
+        """Failures flagged on the objective match the raw performance."""
+        tb = UVLOTestbench()
+        spec = tb.specs["delta_vthl"]
+        objective = tb.objective("delta_vthl")
+        threshold = tb.threshold("delta_vthl")
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            x = rng.uniform(-1, 1, 19)
+            perf = tb.performance("delta_vthl", x)
+            assert (objective(x) < threshold) == spec.is_failure(perf)
+
+    def test_custom_spec_on_arbitrary_function(self):
+        spec = Specification("area", threshold=2.0, failure_when="below")
+        objective = spec.wrap_objective(lambda x: float(np.sum(np.abs(x))))
+        assert objective(np.array([0.5, 0.5])) < spec.minimization_threshold
+        assert objective(np.array([2.0, 2.0])) > spec.minimization_threshold
+
+
+class TestAblationsRunSmall:
+    @pytest.fixture(scope="class")
+    def cfg(self):
+        return uvlo_config(
+            n_init=5,
+            batch_size=3,
+            n_batches=2,
+            global_budget=60,
+            local_budget=30,
+            embedding_dim=4,
+            seed=9,
+        )
+
+    @pytest.fixture(scope="class")
+    def tb(self):
+        return UVLOTestbench()
+
+    def test_dimension_sweep(self, tb, cfg):
+        rows = embedding_dimension_sweep(tb, "delta_vthl", cfg, dims=[2, 4])
+        assert [r.variant for r in rows] == ["d=2", "d=4"]
+
+    def test_weight_ablation(self, tb, cfg):
+        rows = acquisition_weight_ablation(tb, "delta_vthl", cfg)
+        assert len(rows) == 2
+
+    def test_kernel_ablation(self, tb, cfg):
+        rows = kernel_ablation(tb, "delta_vthl", cfg)
+        assert len(rows) == 2
+
+    def test_projection_ablation_restores_method(self, tb, cfg):
+        from repro.embedding.random_embedding import RandomEmbedding
+
+        original = RandomEmbedding.to_original
+        rows = projection_ablation(tb, "delta_vthl", cfg)
+        assert len(rows) == 2
+        assert RandomEmbedding.to_original is original  # monkey-patch undone

@@ -1,0 +1,101 @@
+"""Tests for kernel algebra (sum, product, scaled)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    Matern32,
+    ProductKernel,
+    ScaledKernel,
+    SquaredExponential,
+    SumKernel,
+)
+from tests.test_kernels_stationary import numeric_gradients
+
+
+@pytest.fixture
+def X(rng):
+    return rng.uniform(-1, 1, (8, 2))
+
+
+class TestSumKernel:
+    def test_operator_sugar(self):
+        k = SquaredExponential() + Matern32()
+        assert isinstance(k, SumKernel)
+
+    def test_values_add(self, X):
+        a, b = SquaredExponential(variance=1.2), Matern32(variance=0.7)
+        np.testing.assert_allclose((a + b)(X), a(X) + b(X))
+
+    def test_diag_adds(self, X):
+        k = SquaredExponential(variance=1.2) + Matern32(variance=0.7)
+        np.testing.assert_allclose(k.diag(X), np.full(8, 1.9))
+
+    def test_theta_concatenates(self):
+        k = SquaredExponential() + Matern32()
+        assert k.n_params == 4
+
+    def test_theta_roundtrip_updates_children(self):
+        k = SquaredExponential() + Matern32()
+        theta = k.theta.copy()
+        theta[0] = np.log(5.0)
+        k.theta = theta
+        assert k.left.variance == pytest.approx(5.0)
+
+    def test_gradients_match_numeric(self, X):
+        k = SquaredExponential(variance=1.5) + Matern32(lengthscale=0.6)
+        for a, n in zip(k.gradients(X), numeric_gradients(k, X)):
+            np.testing.assert_allclose(a, n, atol=1e-5)
+
+
+class TestProductKernel:
+    def test_operator_sugar(self):
+        k = SquaredExponential() * Matern32()
+        assert isinstance(k, ProductKernel)
+
+    def test_values_multiply(self, X):
+        a, b = SquaredExponential(), Matern32()
+        np.testing.assert_allclose((a * b)(X), a(X) * b(X))
+
+    def test_gradients_match_numeric(self, X):
+        k = SquaredExponential(variance=2.0) * Matern32(lengthscale=0.8)
+        for a, n in zip(k.gradients(X), numeric_gradients(k, X)):
+            np.testing.assert_allclose(a, n, atol=1e-5)
+
+    def test_psd(self, X):
+        k = SquaredExponential() * Matern32()
+        assert np.linalg.eigvalsh(k(X)).min() > -1e-9
+
+
+class TestScaledKernel:
+    def test_scales_values(self, X):
+        inner = SquaredExponential()
+        k = ScaledKernel(inner, 3.0)
+        np.testing.assert_allclose(k(X), 3.0 * inner(X))
+
+    def test_scale_not_a_parameter(self):
+        k = ScaledKernel(SquaredExponential(), 3.0)
+        assert k.n_params == 2  # inner kernel only
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            ScaledKernel(SquaredExponential(), 0.0)
+
+    def test_gradients_scaled(self, X):
+        inner = SquaredExponential()
+        k = ScaledKernel(inner, 2.0)
+        for a, b in zip(k.gradients(X), inner.gradients(X)):
+            np.testing.assert_allclose(a, 2.0 * b)
+
+
+class TestNesting:
+    def test_three_way_composite(self, X):
+        k = (SquaredExponential() + Matern32()) * SquaredExponential(variance=0.5)
+        assert k.n_params == 6
+        assert k(X).shape == (8, 8)
+        for a, n in zip(k.gradients(X), numeric_gradients(k, X)):
+            np.testing.assert_allclose(a, n, atol=1e-5)
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            SumKernel(SquaredExponential(), "not a kernel")

@@ -1,0 +1,204 @@
+"""Tests for the stationary kernels: values, gradients, PSD properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import (
+    RBF,
+    Matern12,
+    Matern32,
+    Matern52,
+    RationalQuadratic,
+    SquaredExponential,
+    WhiteNoise,
+)
+
+ALL_KERNELS = [SquaredExponential, Matern12, Matern32, Matern52, RationalQuadratic]
+
+
+def numeric_gradients(kernel, X, eps=1e-6):
+    """Central-difference gradients of the Gram matrix w.r.t. theta."""
+    theta0 = kernel.theta.copy()
+    grads = []
+    for i in range(theta0.shape[0]):
+        tp = theta0.copy()
+        tp[i] += eps
+        kernel.theta = tp
+        kp = kernel(X)
+        tm = theta0.copy()
+        tm[i] -= eps
+        kernel.theta = tm
+        km = kernel(X)
+        grads.append((kp - km) / (2 * eps))
+    kernel.theta = theta0
+    return grads
+
+
+class TestKernelValues:
+    def test_se_at_zero_distance_is_variance(self):
+        k = SquaredExponential(variance=2.5)
+        x = np.array([[0.3, -0.2]])
+        assert k(x)[0, 0] == pytest.approx(2.5)
+
+    def test_rbf_alias(self):
+        assert RBF is SquaredExponential
+
+    def test_se_known_value(self):
+        k = SquaredExponential(lengthscale=1.0)
+        X = np.array([[0.0], [1.0]])
+        assert k(X)[0, 1] == pytest.approx(np.exp(-0.5))
+
+    def test_matern12_known_value(self):
+        k = Matern12(lengthscale=2.0)
+        X = np.array([[0.0], [2.0]])
+        assert k(X)[0, 1] == pytest.approx(np.exp(-1.0))
+
+    def test_matern_ordering_smoothness(self):
+        # at moderate distance: rougher kernels decay faster
+        X = np.array([[0.0], [1.0]])
+        k12 = Matern12()(X)[0, 1]
+        k32 = Matern32()(X)[0, 1]
+        k52 = Matern52()(X)[0, 1]
+        kse = SquaredExponential()(X)[0, 1]
+        assert k12 < k32 < k52 < kse
+
+    @pytest.mark.parametrize("cls", ALL_KERNELS)
+    def test_symmetry(self, cls, rng):
+        k = cls(dim=3)
+        X = rng.uniform(-1, 1, (10, 3))
+        K = k(X)
+        np.testing.assert_allclose(K, K.T, atol=1e-12)
+
+    @pytest.mark.parametrize("cls", ALL_KERNELS)
+    def test_diag_matches_gram_diagonal(self, cls, rng):
+        k = cls(dim=2, variance=1.7)
+        X = rng.uniform(-1, 1, (8, 2))
+        np.testing.assert_allclose(k.diag(X), np.diag(k(X)), atol=1e-12)
+
+    @pytest.mark.parametrize("cls", ALL_KERNELS)
+    def test_cross_gram_shape(self, cls, rng):
+        k = cls(dim=2)
+        X = rng.uniform(-1, 1, (5, 2))
+        Z = rng.uniform(-1, 1, (7, 2))
+        assert k(X, Z).shape == (5, 7)
+
+    @pytest.mark.parametrize("cls", ALL_KERNELS)
+    def test_positive_semidefinite(self, cls, rng):
+        k = cls(dim=4, lengthscale=0.7)
+        X = rng.uniform(-2, 2, (20, 4))
+        eigvals = np.linalg.eigvalsh(k(X))
+        assert eigvals.min() > -1e-9
+
+
+class TestARD:
+    def test_requires_dim(self):
+        with pytest.raises(ValueError, match="dim"):
+            SquaredExponential(ard=True)
+
+    def test_vector_lengthscale(self):
+        k = Matern52(dim=3, lengthscale=[0.5, 1.0, 2.0], ard=True)
+        assert k.lengthscales.shape == (3,)
+
+    def test_scalar_broadcast(self):
+        k = Matern52(dim=3, lengthscale=0.5, ard=True)
+        np.testing.assert_array_equal(k.lengthscales, [0.5, 0.5, 0.5])
+
+    def test_irrelevant_dim_ignored_with_large_lengthscale(self, rng):
+        k = SquaredExponential(dim=2, lengthscale=[1.0, 1e3], ard=True)
+        X = rng.uniform(-1, 1, (6, 2))
+        Y = X.copy()
+        Y[:, 1] = rng.uniform(-1, 1, 6)  # perturb the irrelevant dim
+        np.testing.assert_allclose(k(X), k(Y), atol=1e-4)
+
+    def test_wrong_lengthscale_count(self):
+        with pytest.raises(ValueError):
+            Matern32(dim=3, lengthscale=[1.0, 2.0], ard=True)
+
+
+class TestTheta:
+    @pytest.mark.parametrize("cls", ALL_KERNELS)
+    def test_roundtrip(self, cls):
+        k = cls(dim=2, variance=2.0, lengthscale=0.3)
+        theta = k.theta.copy()
+        k.theta = theta
+        np.testing.assert_allclose(k.theta, theta)
+
+    def test_theta_sets_values(self):
+        k = SquaredExponential()
+        k.theta = np.array([np.log(4.0), np.log(0.5)])
+        assert k.variance == pytest.approx(4.0)
+        assert k.lengthscales[0] == pytest.approx(0.5)
+
+    def test_wrong_shape_rejected(self):
+        k = SquaredExponential()
+        with pytest.raises(ValueError):
+            k.theta = np.zeros(5)
+
+    @pytest.mark.parametrize("cls", ALL_KERNELS)
+    def test_bounds_shape(self, cls):
+        k = cls(dim=3, ard=True)
+        bounds = k.theta_bounds()
+        assert bounds.shape == (k.n_params, 2)
+        assert np.all(bounds[:, 0] < bounds[:, 1])
+
+
+class TestGradients:
+    @pytest.mark.parametrize("cls", ALL_KERNELS)
+    def test_gradient_matches_numeric_iso(self, cls, rng):
+        k = cls(dim=3, variance=1.5, lengthscale=0.8)
+        X = rng.uniform(-1, 1, (7, 3))
+        analytic = k.gradients(X)
+        numeric = numeric_gradients(k, X)
+        assert len(analytic) == k.n_params
+        for a, n in zip(analytic, numeric):
+            np.testing.assert_allclose(a, n, atol=1e-5)
+
+    @pytest.mark.parametrize("cls", [SquaredExponential, Matern32, Matern52])
+    def test_gradient_matches_numeric_ard(self, cls, rng):
+        k = cls(dim=3, ard=True, lengthscale=[0.5, 1.0, 2.0])
+        X = rng.uniform(-1, 1, (6, 3))
+        analytic = k.gradients(X)
+        numeric = numeric_gradients(k, X)
+        for a, n in zip(analytic, numeric):
+            np.testing.assert_allclose(a, n, atol=1e-5)
+
+    def test_matern12_gradient_finite_at_zero_distance(self):
+        k = Matern12()
+        X = np.array([[0.5], [0.5]])  # duplicate points
+        grads = k.gradients(X)
+        for g in grads:
+            assert np.all(np.isfinite(g))
+
+
+class TestWhiteNoise:
+    def test_training_gram_is_scaled_identity(self):
+        k = WhiteNoise(variance=0.3)
+        X = np.zeros((4, 2))
+        np.testing.assert_allclose(k(X), 0.3 * np.eye(4))
+
+    def test_cross_gram_is_zero(self):
+        k = WhiteNoise()
+        assert np.all(k(np.zeros((3, 1)), np.ones((2, 1))) == 0.0)
+
+    def test_gradient(self):
+        k = WhiteNoise(variance=2.0)
+        (g,) = k.gradients(np.zeros((3, 1)))
+        np.testing.assert_allclose(g, 2.0 * np.eye(3))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    lengthscale=st.floats(0.1, 10.0),
+    variance=st.floats(0.01, 100.0),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_property_gram_psd_and_bounded(lengthscale, variance, seed):
+    """Any stationary Gram matrix is PSD with entries bounded by variance."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-3, 3, (12, 2))
+    k = Matern52(dim=2, variance=variance, lengthscale=lengthscale)
+    K = k(X)
+    assert np.all(K <= variance + 1e-9)
+    assert np.linalg.eigvalsh(K).min() > -1e-7 * variance

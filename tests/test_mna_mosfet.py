@@ -1,0 +1,143 @@
+"""Tests for the level-1 MOSFET model and transistor circuits."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.mna import (
+    Circuit,
+    MOSFET,
+    MOSParams,
+    Resistor,
+    VoltageSource,
+    level1_current,
+    solve_dc,
+    sweep_source,
+)
+
+
+class TestLevel1Equations:
+    def test_cutoff(self):
+        p = MOSParams(vth=0.5)
+        i_d, gm, gds = level1_current(p, vgs=0.3, vds=1.0)
+        assert i_d == 0.0 and gm == 0.0 and gds > 0.0
+
+    def test_saturation_square_law(self):
+        p = MOSParams(vth=0.5, kp=2e-4, w=10e-6, l=1e-6, lambda_=0.0)
+        i_d, gm, _ = level1_current(p, vgs=1.0, vds=2.0)
+        beta = 2e-4 * 10.0
+        assert i_d == pytest.approx(0.5 * beta * 0.25)
+        assert gm == pytest.approx(beta * 0.5)
+
+    def test_triode_region(self):
+        p = MOSParams(vth=0.5, kp=2e-4, w=10e-6, l=1e-6, lambda_=0.0)
+        i_d, _, gds = level1_current(p, vgs=1.5, vds=0.1)
+        beta = 2e-4 * 10.0
+        assert i_d == pytest.approx(beta * (1.0 * 0.1 - 0.005))
+        assert gds > 1e-5  # strongly conductive channel
+
+    def test_continuity_at_pinchoff(self):
+        p = MOSParams(vth=0.5, kp=2e-4, lambda_=0.05)
+        vov = 0.5
+        below = level1_current(p, vgs=1.0, vds=vov - 1e-9)[0]
+        above = level1_current(p, vgs=1.0, vds=vov + 1e-9)[0]
+        assert below == pytest.approx(above, rel=1e-6)
+
+    def test_channel_length_modulation(self):
+        p = MOSParams(vth=0.5, lambda_=0.1)
+        low = level1_current(p, vgs=1.0, vds=1.0)[0]
+        high = level1_current(p, vgs=1.0, vds=3.0)[0]
+        assert high > low
+
+    def test_scaled_variation(self):
+        p = MOSParams(vth=0.5, kp=2e-4, l=1e-6)
+        q = p.scaled(dl=0.1, dvth=0.05, dkp=-0.02)
+        assert q.l == pytest.approx(1.1e-6)
+        assert q.vth == pytest.approx(0.55)
+        assert q.kp == pytest.approx(1.96e-4)
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            MOSParams(kp=-1.0)
+
+
+class TestMOSFETCircuits:
+    def test_common_source_operating_point(self):
+        c = Circuit()
+        c.add(VoltageSource("VDD", "vdd", "0", 3.0))
+        c.add(VoltageSource("VG", "g", "0", 0.8))
+        c.add(Resistor("RD", "vdd", "d", 20e3))
+        m = c.add(MOSFET("M1", "d", "g", "0",
+                         MOSParams(vth=0.5, kp=2e-4, w=10e-6, l=1e-6, lambda_=0.0)))
+        sol = solve_dc(c)
+        # Id = 0.5*2e-3*(0.3)^2 = 90uA -> Vd = 3 - 1.8 = 1.2
+        assert sol.voltage("d") == pytest.approx(1.2, abs=0.01)
+        op = m.operating_point(sol.x)
+        assert op["saturated"] == 1.0
+
+    def test_diode_connected_nmos(self):
+        c = Circuit()
+        c.add(VoltageSource("VDD", "vdd", "0", 3.0))
+        c.add(Resistor("R1", "vdd", "d", 10e3))
+        c.add(MOSFET("M1", "d", "d", "0", MOSParams(vth=0.5, kp=2e-4)))
+        sol = solve_dc(c)
+        vd = sol.voltage("d")
+        assert 0.5 < vd < 1.5  # one vth plus overdrive
+
+    def test_nmos_current_mirror(self):
+        c = Circuit()
+        c.add(VoltageSource("VDD", "vdd", "0", 3.0))
+        c.add(Resistor("Rref", "vdd", "ref", 25e3))
+        params = MOSParams(vth=0.5, kp=2e-4, lambda_=0.0)
+        c.add(MOSFET("M1", "ref", "ref", "0", params))
+        c.add(MOSFET("M2", "out", "ref", "0", params))
+        c.add(Resistor("Rout", "vdd", "out", 10e3))
+        sol = solve_dc(c)
+        i_ref = (3.0 - sol.voltage("ref")) / 25e3
+        i_out = (3.0 - sol.voltage("out")) / 10e3
+        assert i_out == pytest.approx(i_ref, rel=0.05)
+
+    def test_cmos_inverter_transfer(self):
+        c = Circuit()
+        c.add(VoltageSource("VDD", "vdd", "0", 3.0))
+        vin = c.add(VoltageSource("VIN", "in", "0", 0.0))
+        c.add(MOSFET("MP", "out", "in", "vdd",
+                     MOSParams(vth=0.5, kp=1e-4, w=20e-6), polarity="pmos"))
+        c.add(MOSFET("MN", "out", "in", "0",
+                     MOSParams(vth=0.5, kp=2e-4, w=10e-6)))
+        sweep = sweep_source(c, vin, np.linspace(0.0, 3.0, 31))
+        vout = sweep.voltage("out")
+        assert vout[0] == pytest.approx(3.0, abs=0.01)  # input low -> out high
+        assert vout[-1] == pytest.approx(0.0, abs=0.01)
+        assert np.all(np.diff(vout) <= 1e-6)  # monotone falling
+
+    def test_pmos_source_follower_polarity(self):
+        c = Circuit()
+        c.add(VoltageSource("VDD", "vdd", "0", 3.0))
+        c.add(VoltageSource("VG", "g", "0", 1.0))
+        c.add(MOSFET("MN", "vdd", "g", "s", MOSParams(vth=0.5, kp=2e-4)))
+        c.add(Resistor("RS", "s", "0", 10e3))
+        sol = solve_dc(c)
+        vs = sol.voltage("s")
+        assert 0.2 < vs < 0.5  # about vg - vth - overdrive
+
+    def test_drain_source_swap_symmetry(self):
+        """The model is symmetric: reversing D/S flips the current sign."""
+        c1 = Circuit()
+        c1.add(VoltageSource("V1", "a", "0", 0.1))
+        c1.add(VoltageSource("VG", "g", "0", 1.5))
+        c1.add(MOSFET("M", "a", "g", "0", MOSParams(vth=0.5, lambda_=0.0)))
+        sol1 = solve_dc(c1)
+
+        c2 = Circuit()
+        c2.add(VoltageSource("V1", "a", "0", 0.1))
+        c2.add(VoltageSource("VG", "g", "0", 1.5))
+        c2.add(MOSFET("M", "0", "g", "a", MOSParams(vth=0.5, lambda_=0.0)))
+        sol2 = solve_dc(c2)
+        # branch current through V1 identical in magnitude either way
+        i1 = sol1.x[c1.n_nodes + 0]
+        i2 = sol2.x[c2.n_nodes + 0]
+        assert i1 == pytest.approx(i2, rel=1e-6)
+
+    def test_polarity_validation(self):
+        with pytest.raises(ValueError):
+            MOSFET("M", "d", "g", "s", polarity="cmos")

@@ -1,0 +1,54 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_reproducible(self):
+        a = as_generator(42).uniform(size=5)
+        b = as_generator(42).uniform(size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).uniform(size=5)
+        b = as_generator(2).uniform(size=5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passes_through(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        gen = as_generator(np.random.SeedSequence(7))
+        assert isinstance(gen, np.random.Generator)
+
+
+class TestSpawn:
+    def test_count(self):
+        children = spawn(np.random.default_rng(0), 4)
+        assert len(children) == 4
+
+    def test_children_independent_streams(self):
+        children = spawn(np.random.default_rng(0), 2)
+        a = children[0].uniform(size=10)
+        b = children[1].uniform(size=10)
+        assert not np.array_equal(a, b)
+
+    def test_deterministic_given_parent_state(self):
+        a = spawn(np.random.default_rng(5), 3)
+        b = spawn(np.random.default_rng(5), 3)
+        for ga, gb in zip(a, b):
+            np.testing.assert_array_equal(ga.uniform(size=4), gb.uniform(size=4))
+
+    def test_zero_children(self):
+        assert spawn(np.random.default_rng(0), 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(np.random.default_rng(0), -1)

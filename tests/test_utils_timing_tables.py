@@ -1,0 +1,81 @@
+"""Tests for repro.utils.timing and repro.utils.tables."""
+
+import time
+
+import pytest
+
+from repro.utils.tables import format_count, format_sim_budget, render_table
+from repro.utils.timing import Timer, format_duration
+
+
+class TestTimer:
+    def test_context_manager_measures(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_accumulates_across_starts(self):
+        t = Timer()
+        t.start()
+        t.stop()
+        first = t.elapsed
+        t.start()
+        t.stop()
+        assert t.elapsed >= first
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+
+class TestFormatDuration:
+    def test_sub_minute(self):
+        assert format_duration(12.345) == "12.35s"
+
+    def test_minutes(self):
+        assert format_duration(95) == "1m35s"
+
+    def test_hours_paper_style(self):
+        assert format_duration(4 * 3600 + 22 * 60 + 7) == "4h22m07s"
+
+    def test_zero(self):
+        assert format_duration(0.0) == "0.00s"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_duration(-1.0)
+
+
+class TestRenderTable:
+    def test_basic_alignment(self):
+        out = render_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a  ")
+        assert "333" in lines[3]
+
+    def test_title(self):
+        out = render_table(["x"], [["1"]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [["1"]])
+
+    def test_non_string_cells(self):
+        out = render_table(["n"], [[42], [3.5]])
+        assert "42" in out and "3.5" in out
+
+
+class TestBudgetFormatting:
+    def test_count(self):
+        assert format_count(649000) == "649,000"
+
+    def test_sequential(self):
+        assert format_sim_budget(5, 95) == "5init + 95seq"
+
+    def test_batched(self):
+        assert format_sim_budget(5, 95, batch=19) == "5init + 5x19batch"
+
+    def test_bad_batch(self):
+        with pytest.raises(ValueError):
+            format_sim_budget(5, 95, batch=20)
