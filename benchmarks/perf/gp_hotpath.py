@@ -1,0 +1,218 @@
+"""Benchmark the vectorized GP hot path against the pre-change baseline.
+
+Three timed sections, mirroring the three tiers of the rework:
+
+* ``hyperopt`` — multi-start marginal-likelihood fitting of a Matern-5/2
+  ARD GP (n=200, d=8): fused value+gradient evaluator over a cached kernel
+  workspace versus the original refit-per-evaluation path.
+* ``refit`` — sequential BO conditioning: incremental rank-k Cholesky
+  ``add_data`` versus a full O(n^3) refit per appended batch.
+* ``proposal`` — one 60-D pBO batch proposal (n=400 training points,
+  5 weights): lockstep DIRECT searches sharing one posterior evaluation
+  per candidate union (plus batched local-stage evaluations) versus
+  independent per-weight searches scoring the acquisition point by point.
+
+Both sides run in subprocesses through ``measure_side.py``.  The baseline
+is, by preference, the *actual pre-change code*: the repository's root
+commit checked out into a temporary git worktree.  When git history is
+unavailable (shallow clone, exported tarball) the frozen replica in
+``legacy_baseline.py`` is measured instead and the report says so.
+
+Writes a JSON report (default ``BENCH_gp_hotpath.json`` at the repo root).
+``--fast`` shrinks every section to smoke-test size for CI.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf/gp_hotpath.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_REPO_ROOT = os.path.dirname(os.path.dirname(_HERE))
+_MEASURE = os.path.join(_HERE, "measure_side.py")
+_SECTIONS = ("hyperopt", "refit", "proposal")
+
+
+def _run_side(src_path, section, fast, replica=False):
+    """Run one measurement subprocess and parse its RESULT line."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_path
+    cmd = [sys.executable, _MEASURE, "--section", section]
+    if fast:
+        cmd.append("--fast")
+    if replica:
+        cmd.append("--legacy-replica")
+    proc = subprocess.run(
+        cmd, capture_output=True, text=True, env=env, cwd=_REPO_ROOT
+    )
+    for line in proc.stdout.splitlines():
+        if line.startswith("RESULT:"):
+            return json.loads(line[len("RESULT:") :])
+    raise RuntimeError(
+        f"measurement failed for section={section} (rc={proc.returncode}):\n"
+        f"{proc.stdout}\n{proc.stderr}"
+    )
+
+
+class _BaselineTree:
+    """Context manager providing the baseline commit as a git worktree."""
+
+    def __init__(self):
+        self.path = None
+        self.src = None
+        self.commit = None
+
+    def __enter__(self):
+        try:
+            root_commits = subprocess.run(
+                ["git", "rev-list", "--max-parents=0", "HEAD"],
+                capture_output=True,
+                text=True,
+                cwd=_REPO_ROOT,
+                check=True,
+            ).stdout.split()
+            self.commit = root_commits[0]
+            self.path = tempfile.mkdtemp(prefix="gp-hotpath-baseline-")
+            subprocess.run(
+                ["git", "worktree", "add", "--detach", self.path, self.commit],
+                capture_output=True,
+                text=True,
+                cwd=_REPO_ROOT,
+                check=True,
+            )
+            src = os.path.join(self.path, "src")
+            if not os.path.isdir(src):
+                raise RuntimeError("baseline commit has no src/ directory")
+            self.src = src
+        except Exception:
+            self._cleanup()
+            self.path = self.src = None
+        return self
+
+    def __exit__(self, *exc):
+        self._cleanup()
+
+    def _cleanup(self):
+        if self.path is None:
+            return
+        subprocess.run(
+            ["git", "worktree", "remove", "--force", self.path],
+            capture_output=True,
+            cwd=_REPO_ROOT,
+        )
+        shutil.rmtree(self.path, ignore_errors=True)
+
+
+def _combine(section, legacy, current):
+    out = {"legacy": legacy, "current": current}
+    out["speedup"] = round(legacy["seconds"] / current["seconds"], 2)
+    if section == "hyperopt":
+        out["speedup_per_eval"] = round(
+            legacy["ms_per_eval"] / current["ms_per_eval"], 2
+        )
+        out["lml_gap"] = round(abs(legacy["lml"] - current["lml"]), 6)
+    elif section == "refit":
+        out["prediction_gap"] = float(
+            np.max(
+                np.abs(
+                    np.asarray(legacy["prediction_head"])
+                    - np.asarray(current["prediction_head"])
+                )
+            )
+        )
+    elif section == "proposal":
+        out["proposals_match"] = bool(
+            np.allclose(
+                np.asarray(legacy["proposals"]),
+                np.asarray(current["proposals"]),
+                atol=1e-8,
+            )
+        )
+    return out
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="smoke-test sizes (seconds, for CI) instead of report sizes",
+    )
+    parser.add_argument(
+        "--replica",
+        action="store_true",
+        help="benchmark against the frozen replica instead of the baseline commit",
+    )
+    parser.add_argument(
+        "--out",
+        default=os.path.join(_REPO_ROOT, "BENCH_gp_hotpath.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    current_src = os.path.join(_REPO_ROOT, "src")
+    report = {
+        "meta": {
+            "date": time.strftime("%Y-%m-%d %H:%M:%S"),
+            "fast": args.fast,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        }
+    }
+
+    with _BaselineTree() as baseline:
+        use_tree = baseline.src is not None and not args.replica
+        report["meta"]["baseline"] = (
+            f"root commit {baseline.commit[:12]} (git worktree)"
+            if use_tree
+            else "frozen replica (benchmarks/perf/legacy_baseline.py)"
+        )
+        for section in _SECTIONS:
+            print(f"[{section}] legacy ...", flush=True)
+            if use_tree:
+                legacy = _run_side(baseline.src, section, args.fast)
+            else:
+                legacy = _run_side(
+                    current_src, section, args.fast, replica=True
+                )
+            print(f"[{section}] current ...", flush=True)
+            current = _run_side(current_src, section, args.fast)
+            report[section] = _combine(section, legacy, current)
+            summary = {
+                k: v
+                for k, v in report[section].items()
+                if k not in ("legacy", "current")
+            }
+            summary["legacy_s"] = legacy["seconds"]
+            summary["current_s"] = current["seconds"]
+            print(f"[{section}] {json.dumps(summary)}", flush=True)
+
+    # raw comparison payloads are folded into *_gap / *_match above
+    for section, key in (("refit", "prediction_head"), ("proposal", "proposals")):
+        report[section]["legacy"].pop(key, None)
+        report[section]["current"].pop(key, None)
+
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,198 @@
+"""Frozen replica of the pre-vectorization GP hot path, for benchmarking.
+
+``benchmarks/perf/gp_hotpath.py`` compares the current code against the
+operation sequence the repository shipped before the hot-path rework:
+
+* a fresh pairwise-distance matrix (with temporaries) per Gram evaluation,
+* ``K + noise * np.eye(n)`` plus another ``jitter * np.eye(n)`` per jitter
+  attempt, and scipy wrappers at their ``check_finite=True`` defaults,
+* ``K^{-1}`` via ``cho_solve`` against a dense identity,
+* one materialized ``(n, n)`` gradient matrix per ARD dimension, built from
+  a per-dimension Python loop over coordinate differences,
+* hyperparameter search that refits the model (Gram + Cholesky) on every
+  trial theta and then rebuilds the distance structure again for the
+  gradient.
+
+Keeping the baseline frozen here (instead of importing whatever the tree
+currently contains) makes committed benchmark numbers reproducible: both
+sides of the comparison are pinned by this file and the current sources.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import cho_solve, cholesky
+from scipy.optimize import minimize
+
+_JITTERS = (0.0, 1e-10, 1e-8, 1e-6, 1e-4)
+_SQRT5 = np.sqrt(5.0)
+
+
+def _pairwise_sq_dists(X, Z, lengthscales):
+    Xs = X / lengthscales
+    Zs = Z / lengthscales
+    sq = (
+        np.sum(Xs**2, axis=1)[:, None]
+        + np.sum(Zs**2, axis=1)[None, :]
+        - 2.0 * Xs @ Zs.T
+    )
+    return np.maximum(sq, 0.0)
+
+
+def _matern52_g(sq):
+    r = np.sqrt(np.maximum(sq, 0.0))
+    return (1.0 + _SQRT5 * r + (5.0 / 3.0) * sq) * np.exp(-_SQRT5 * r)
+
+
+def _matern52_dg_dsq(sq):
+    r = np.sqrt(np.maximum(sq, 0.0))
+    return -(5.0 / 6.0) * (1.0 + _SQRT5 * r) * np.exp(-_SQRT5 * r)
+
+
+class LegacyMatern52ArdGP:
+    """Matern-5/2 ARD GP with the original refit-per-evaluation hot path."""
+
+    def __init__(self, X, y, noise_variance=1e-4):
+        self.X = np.asarray(X, dtype=float)
+        self.y = np.asarray(y, dtype=float)
+        d = self.X.shape[1]
+        self.variance = 1.0
+        self.lengthscales = np.ones(d)
+        self.noise_variance = float(noise_variance)
+        self._chol = None
+        self._alpha = None
+        self._refit()
+
+    # -- hyperparameter vector ------------------------------------------------
+
+    @property
+    def theta(self):
+        return np.concatenate(
+            [
+                [np.log(self.variance)],
+                np.log(self.lengthscales),
+                [np.log(self.noise_variance)],
+            ]
+        )
+
+    @theta.setter
+    def theta(self, value):
+        value = np.asarray(value, dtype=float)
+        self.variance = float(np.exp(value[0]))
+        self.lengthscales = np.exp(value[1:-1])
+        self.noise_variance = float(np.exp(value[-1]))
+        self._refit()
+
+    def theta_bounds(self):
+        d = self.lengthscales.shape[0]
+        bounds = np.empty((d + 2, 2))
+        bounds[0] = (np.log(1e-6), np.log(1e6))
+        bounds[1 : d + 1] = (np.log(1e-3), np.log(1e3))
+        bounds[d + 1] = (np.log(1e-10), np.log(1e2))
+        return bounds
+
+    # -- original hot-path operations -----------------------------------------
+
+    def _gram(self):
+        sq = _pairwise_sq_dists(self.X, self.X, self.lengthscales)
+        np.fill_diagonal(sq, 0.0)
+        return self.variance * _matern52_g(sq)
+
+    def _refit(self):
+        K = self._gram()
+        n = K.shape[0]
+        base = K + self.noise_variance * np.eye(n)
+        last_error = None
+        for jitter in _JITTERS:
+            try:
+                self._chol = cholesky(base + jitter * np.eye(n), lower=True)
+                break
+            except np.linalg.LinAlgError as exc:  # pragma: no cover - rare
+                last_error = exc
+        else:  # pragma: no cover - pathological kernels only
+            raise np.linalg.LinAlgError(
+                "Gram matrix is not positive definite even with jitter"
+            ) from last_error
+        self._alpha = cho_solve((self._chol, True), self.y)
+
+    def log_marginal_likelihood(self):
+        n = self.y.shape[0]
+        log_det = 2.0 * np.sum(np.log(np.diag(self._chol)))
+        return float(
+            -0.5 * self.y @ self._alpha
+            - 0.5 * log_det
+            - 0.5 * n * np.log(2.0 * np.pi)
+        )
+
+    def _kernel_gradients(self):
+        X = self.X
+        sq = _pairwise_sq_dists(X, X, self.lengthscales)
+        np.fill_diagonal(sq, 0.0)
+        g = _matern52_g(sq)
+        dg = _matern52_dg_dsq(sq)
+        grads = [self.variance * g]
+        for k in range(X.shape[1]):
+            diff = (X[:, k][:, None] - X[:, k][None, :]) / self.lengthscales[k]
+            grads.append(self.variance * dg * (-2.0 * diff**2))
+        return grads
+
+    def log_marginal_likelihood_gradient(self):
+        n = self.X.shape[0]
+        K_inv = cho_solve((self._chol, True), np.eye(n))
+        inner = np.outer(self._alpha, self._alpha) - K_inv
+        grads = [0.5 * np.sum(inner * dK) for dK in self._kernel_gradients()]
+        grads.append(0.5 * self.noise_variance * np.trace(inner))
+        return np.asarray(grads)
+
+
+def legacy_cross(gp, Z):
+    """Cross-covariance ``k(X_train, Z)`` with the legacy operation order."""
+    sq = _pairwise_sq_dists(gp.X, np.asarray(Z, dtype=float), gp.lengthscales)
+    return gp.variance * _matern52_g(sq)
+
+
+def legacy_fit_hyperparameters(gp, n_restarts=2, seed=None, max_iter=100):
+    """The original multi-start L-BFGS-B fit: one full refit per trial theta.
+
+    Returns ``(best_theta, best_lml, n_evaluations)``.
+    """
+    rng = np.random.default_rng(seed)
+    bounds = gp.theta_bounds()
+    lower, upper = bounds[:, 0], bounds[:, 1]
+    evaluations = 0
+
+    def objective(theta):
+        nonlocal evaluations
+        evaluations += 1
+        try:
+            gp.theta = theta
+            lml = gp.log_marginal_likelihood()
+            grad = gp.log_marginal_likelihood_gradient()
+        except np.linalg.LinAlgError:
+            return 1e25, np.zeros_like(theta)
+        if not np.isfinite(lml):
+            return 1e25, np.zeros_like(theta)
+        return -lml, -grad
+
+    starts = [gp.theta.copy()]
+    for _ in range(n_restarts - 1):
+        starts.append(rng.uniform(lower, upper))
+
+    best_theta = gp.theta.copy()
+    best_lml = -np.inf
+    for start in starts:
+        start = np.clip(start, lower, upper)
+        result = minimize(
+            objective,
+            start,
+            jac=True,
+            method="L-BFGS-B",
+            bounds=list(zip(lower, upper)),
+            options={"maxiter": max_iter},
+        )
+        if np.isfinite(result.fun) and -result.fun > best_lml:
+            best_lml = -result.fun
+            best_theta = result.x.copy()
+
+    gp.theta = best_theta
+    return best_theta, best_lml, evaluations

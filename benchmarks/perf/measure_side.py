@@ -1,0 +1,229 @@
+"""Measure one side of the GP hot-path benchmark (run via subprocess).
+
+This script is version-agnostic: it only touches APIs that exist both in
+the current tree and in the pre-change baseline commit, so the benchmark
+driver (``gp_hotpath.py``) can run it twice — once with ``PYTHONPATH``
+pointing at the current ``src/`` and once at a git worktree of the baseline
+commit — and compare timings of *the real code on both sides*.
+
+Feature detection replaces version checks: the batched proposal path is
+used when ``repro.bo.propose`` exists (current tree) and falls back to
+independent per-weight acquisition searches (the baseline behavior)
+otherwise.
+
+``--legacy-replica`` instead measures the frozen in-repo replica of the
+baseline hot path (``legacy_baseline.py``) — the fallback when the baseline
+commit cannot be checked out (shallow clones, exported tarballs).
+
+Prints a single JSON line prefixed with ``RESULT:`` to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+
+def _regression_data(n, d, seed):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1.0, 1.0, (n, d))
+    y = np.sin(X.sum(axis=1)) + 0.1 * rng.standard_normal(n)
+    return X, y
+
+
+def measure_hyperopt(fast, replica=False):
+    n, d = (60, 4) if fast else (200, 8)
+    n_restarts = 1 if fast else 2
+    X, y = _regression_data(n, d, seed=0)
+
+    if replica:
+        from legacy_baseline import (
+            LegacyMatern52ArdGP,
+            legacy_fit_hyperparameters,
+        )
+
+        warm = LegacyMatern52ArdGP(X, y, noise_variance=1e-4)
+        legacy_fit_hyperparameters(warm, n_restarts=1, seed=0, max_iter=3)
+        seconds = np.inf
+        for _ in range(5):  # best-of-N damps scheduler noise
+            gp = LegacyMatern52ArdGP(X, y, noise_variance=1e-4)
+            t0 = time.perf_counter()
+            _, lml, evals = legacy_fit_hyperparameters(
+                gp, n_restarts=n_restarts, seed=1
+            )
+            seconds = min(seconds, time.perf_counter() - t0)
+        return {
+            "n": n,
+            "dim": d,
+            "n_restarts": n_restarts,
+            "seconds": round(seconds, 4),
+            "evals": evals,
+            "ms_per_eval": round(1e3 * seconds / evals, 4),
+            "lml": lml,
+        }
+
+    from repro.gp.hyperopt import fit_hyperparameters
+    from repro.gp.model import GaussianProcess
+    from repro.kernels import Matern52
+
+    def make_gp():
+        gp = GaussianProcess(
+            Matern52(dim=d, ard=True), noise_variance=1e-4, train_noise=True
+        )
+        gp.add_data(X, y)
+        return gp
+
+    fit_hyperparameters(make_gp(), n_restarts=1, seed=0, max_iter=3)  # warmup
+
+    seconds = np.inf
+    for _ in range(5):  # best-of-N damps scheduler noise
+        gp = make_gp()
+        t0 = time.perf_counter()
+        result = fit_hyperparameters(gp, n_restarts=n_restarts, seed=1)
+        seconds = min(seconds, time.perf_counter() - t0)
+    return {
+        "n": n,
+        "dim": d,
+        "n_restarts": n_restarts,
+        "seconds": round(seconds, 4),
+        "evals": result.n_evaluations,
+        "ms_per_eval": round(1e3 * seconds / result.n_evaluations, 4),
+        "lml": result.log_marginal_likelihood,
+    }
+
+
+def measure_refit(fast, replica=False):
+    d = 4 if fast else 8
+    n0 = 60 if fast else 200
+    n_batches = 5 if fast else 20
+    batch = 5
+    X, y = _regression_data(n0 + n_batches * batch, d, seed=3)
+
+    if replica:
+        from legacy_baseline import LegacyMatern52ArdGP, legacy_cross
+
+        seconds = np.inf
+        for _ in range(3):  # first pass doubles as warmup
+            gp = LegacyMatern52ArdGP(X[:n0], y[:n0], noise_variance=1e-4)
+            t0 = time.perf_counter()
+            for b in range(n_batches):
+                hi = n0 + (b + 1) * batch
+                gp.X, gp.y = X[:hi], y[:hi]
+                gp._refit()
+            seconds = min(seconds, time.perf_counter() - t0)
+        head = gp._alpha @ legacy_cross(gp, X[:16])
+    else:
+        from repro.gp.model import GaussianProcess
+        from repro.kernels import Matern52
+
+        seconds = np.inf
+        for _ in range(3):  # first pass doubles as warmup
+            gp = GaussianProcess(
+                Matern52(dim=d, ard=True), noise_variance=1e-4
+            )
+            gp.add_data(X[:n0], y[:n0])
+            t0 = time.perf_counter()
+            for b in range(n_batches):
+                lo, hi = n0 + b * batch, n0 + (b + 1) * batch
+                gp.add_data(X[lo:hi], y[lo:hi])
+            seconds = min(seconds, time.perf_counter() - t0)
+        head = gp.predict(X[:16]).mean
+    return {
+        "dim": d,
+        "n_start": n0,
+        "n_batches": n_batches,
+        "batch_size": batch,
+        "seconds": round(seconds, 4),
+        "prediction_head": [float(v) for v in head],
+    }
+
+
+def measure_proposal(fast, replica=False):
+    from repro.gp.model import GaussianProcess
+    from repro.kernels import Matern52
+
+    d = 12 if fast else 60
+    n = 60 if fast else 400
+    n_weights = 3 if fast else 5
+    rng = np.random.default_rng(2)
+    X = rng.uniform(-1.0, 1.0, (n, d))
+    y = np.sin(X[:, :4].sum(axis=1)) + 0.1 * rng.standard_normal(n)
+    gp = GaussianProcess(
+        Matern52(dim=d, lengthscale=2.0), noise_variance=1e-4, train_noise=False
+    )
+    gp.add_data(X, y)
+    box = np.column_stack([-np.ones(d), np.ones(d)])
+
+    if replica:  # point-at-a-time searches on the current tree
+        propose_batch = None
+    else:
+        try:  # current tree: lockstep batched proposal
+            from repro.bo.propose import propose_batch
+        except ImportError:  # baseline: independent per-weight searches
+            propose_batch = None
+    from repro.acquisition.functions import WeightedAcquisition, pbo_weights
+    from repro.acquisition.optimize import default_acquisition_optimizer
+
+    weights = pbo_weights(n_weights)
+
+    def run_once():
+        if propose_batch is not None:
+            proposal = propose_batch(gp, weights, box)
+            return proposal.X, proposal.n_evaluations
+        points, evals = [], 0
+        for w in weights:
+            acq = WeightedAcquisition(gp, weight=float(w))
+            # the lambda hides the batched ``evaluate`` attribute so every
+            # candidate costs one single-point posterior evaluation, as the
+            # pre-rework inner loop behaved
+            fun = (lambda a: lambda x: float(a(x)))(acq) if replica else acq
+            result = default_acquisition_optimizer(d).minimize(fun, box)
+            points.append(result.x)
+            evals += result.n_evaluations
+        return np.array(points), evals
+
+    run_once()  # warmup
+    seconds = np.inf
+    for _ in range(3):  # best-of-N damps scheduler noise
+        t0 = time.perf_counter()
+        X_prop, evals = run_once()
+        seconds = min(seconds, time.perf_counter() - t0)
+    return {
+        "dim": d,
+        "n_train": n,
+        "n_weights": n_weights,
+        "batched": propose_batch is not None,
+        "seconds": round(seconds, 4),
+        "acq_evals": evals,
+        "proposals": [[float(v) for v in row] for row in X_prop],
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument(
+        "--section", required=True, choices=("hyperopt", "refit", "proposal")
+    )
+    parser.add_argument("--fast", action="store_true")
+    parser.add_argument("--legacy-replica", action="store_true")
+    args = parser.parse_args()
+    fn = {
+        "hyperopt": measure_hyperopt,
+        "refit": measure_refit,
+        "proposal": measure_proposal,
+    }[args.section]
+    print(
+        "RESULT:" + json.dumps(fn(args.fast, replica=args.legacy_replica)),
+        flush=True,
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -4,6 +4,7 @@ from repro.acquisition.base import AcquisitionFunction
 from repro.acquisition.functions import (
     ExpectedImprovement,
     LowerConfidenceBound,
+    MultiWeightAcquisition,
     ProbabilityOfImprovement,
     WeightedAcquisition,
     pbo_weights,
@@ -19,6 +20,7 @@ __all__ = [
     "ExpectedImprovement",
     "LowerConfidenceBound",
     "WeightedAcquisition",
+    "MultiWeightAcquisition",
     "pbo_weights",
     "optimize_acquisition",
     "default_acquisition_optimizer",

@@ -83,6 +83,32 @@ class WeightedAcquisition(AcquisitionFunction):
         return (1.0 - self.weight) * pred.mean - self.weight * pred.std
 
 
+class MultiWeightAcquisition:
+    """Eq. 9 for a whole weight ladder sharing one posterior evaluation.
+
+    ``evaluate_all(X)`` returns an ``(n_weights, m)`` matrix whose row ``i``
+    equals ``WeightedAcquisition(gp, w_i).evaluate(X)`` — the GP posterior
+    is computed once per candidate set and reweighted across all weights,
+    which is what makes the lockstep pBO proposal cheap.
+    """
+
+    def __init__(self, gp: GaussianProcess, weights) -> None:
+        if not gp.is_fitted:
+            raise RuntimeError("acquisition functions require a fitted GP")
+        weights = np.asarray(weights, dtype=float).ravel()
+        if weights.size == 0:
+            raise ValueError("at least one weight is required")
+        if np.any(weights < 0) or np.any(weights > 1):
+            raise ValueError("weights must lie in [0, 1]")
+        self.gp = gp
+        self.weights = weights
+
+    def evaluate_all(self, X: np.ndarray) -> np.ndarray:
+        pred = self.gp.predict(as_matrix(X))
+        w = self.weights[:, None]
+        return (1.0 - w) * pred.mean[None, :] - w * pred.std[None, :]
+
+
 def pbo_weights(batch_size: int) -> np.ndarray:
     """The preset weight ladder ``w_1 … w_{n_b}`` for a pBO batch.
 

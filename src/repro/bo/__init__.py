@@ -13,6 +13,7 @@ from repro.bo.engine import (
     uniform_initial_design,
 )
 from repro.bo.loop import ACQUISITIONS, SequentialBO
+from repro.bo.propose import BatchProposal, propose_batch
 from repro.bo.records import FailureSummary, RunResult
 from repro.bo.rembo import RemboBO
 from repro.bo.spec import Specification
@@ -25,6 +26,8 @@ __all__ = [
     "RunResult",
     "FailureSummary",
     "SurrogateManager",
+    "propose_batch",
+    "BatchProposal",
     "uniform_initial_design",
     "default_kernel_factory",
     "ACQUISITIONS",

@@ -13,7 +13,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.acquisition.functions import WeightedAcquisition, pbo_weights
+from repro.acquisition.functions import pbo_weights
 from repro.acquisition.optimize import default_acquisition_optimizer
 from repro.bo.engine import (
     KernelFactory,
@@ -21,6 +21,7 @@ from repro.bo.engine import (
     SurrogateManager,
     uniform_initial_design,
 )
+from repro.bo.propose import propose_batch
 from repro.bo.records import RunResult
 from repro.utils.rng import SeedLike, as_generator, spawn
 from repro.utils.timing import Timer
@@ -38,6 +39,10 @@ class BatchBO:
         Preset acquisition weights; defaults to ``pbo_weights(batch_size)``.
     stop_on_failure:
         Terminate at the end of the first batch containing a failure.
+    n_jobs:
+        Process-pool width for the independent per-weight acquisition
+        refinements; 1 (default) stays sequential.  Results are identical
+        either way.
     """
 
     def __init__(
@@ -51,6 +56,7 @@ class BatchBO:
         acquisition_optimizer_factory: OptimizerFactory | None = None,
         stop_on_failure: bool = False,
         seed: SeedLike = None,
+        n_jobs: int = 1,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -74,6 +80,7 @@ class BatchBO:
             acquisition_optimizer_factory or default_acquisition_optimizer
         )
         self.stop_on_failure = bool(stop_on_failure)
+        self.n_jobs = int(n_jobs)
         self._rng = as_generator(seed)
 
     def run(
@@ -112,13 +119,15 @@ class BatchBO:
 
         for _ in range(n_batches):
             gp = manager.refit(X, y)
-            new_X = []
-            for w in self.weights:
-                acq = WeightedAcquisition(gp, weight=float(w))
-                optimizer = self.acquisition_optimizer_factory(dim)
-                result = optimizer.minimize(acq, box)
-                acquisition_evals += result.n_evaluations
-                new_X.append(np.clip(result.x, lower, upper))
+            proposal = propose_batch(
+                gp,
+                self.weights,
+                box,
+                optimizer_factory=self.acquisition_optimizer_factory,
+                n_jobs=self.n_jobs,
+            )
+            acquisition_evals += proposal.n_evaluations
+            new_X = [np.clip(x, lower, upper) for x in proposal.X]
             new_y = np.array([float(objective(x)) for x in new_X])
             X = np.vstack([X, np.array(new_X)])
             y = np.concatenate([y, new_y])

@@ -79,17 +79,37 @@ class SurrogateManager:
         self._refit_count = 0
 
     def refit(self, X, y) -> GaussianProcess:
-        """(Re)train the surrogate on the full dataset in model space."""
+        """(Re)train the surrogate on the full dataset in model space.
+
+        When ``X`` extends the previously fitted inputs (the BO engines
+        always append), the new rows enter through the GP's incremental
+        rank-k Cholesky update and only the labels — re-standardized over
+        the grown dataset — are resolved against the existing factorization;
+        otherwise the surrogate is refit from scratch.  Scheduled
+        hyperparameter tuning always ends in an exact refit at the winning
+        theta.
+        """
         X = as_matrix(X, self.dim)
         y = as_vector(y, X.shape[0])
         y_std = self.standardizer.fit_transform(y)
-        if self.gp is None:
-            self.gp = GaussianProcess(
+        gp = self.gp
+        if gp is None:
+            gp = self.gp = GaussianProcess(
                 self._kernel_factory(self.dim),
                 noise_variance=self._noise_variance,
             )
-        self.gp.fit(X, y_std)
+        n_prev = gp.n_train
+        if (
+            gp.is_fitted
+            and X.shape[0] >= n_prev
+            and np.array_equal(X[:n_prev], gp.X_train)
+        ):
+            if X.shape[0] > n_prev:
+                gp.add_data(X[n_prev:], y_std[n_prev:])
+            gp.set_labels(y_std)
+        else:
+            gp.fit(X, y_std)
         if self._refit_count % self.tune_every == 0:
-            fit_hyperparameters(self.gp, n_restarts=self.n_restarts, seed=self._rng)
+            fit_hyperparameters(gp, n_restarts=self.n_restarts, seed=self._rng)
         self._refit_count += 1
-        return self.gp
+        return gp

@@ -1,0 +1,162 @@
+"""Batched multi-weight acquisition proposal — the pBO inner loop.
+
+Run naively, each pBO weight ``w_i`` performs its own DIRECT-L + COBYLA
+search and every DIRECT candidate costs one GP posterior evaluation.  But
+all weights share the same posterior: only the reweighting
+``(1 − w) μ − w σ`` (Eq. 9) differs.  :func:`propose_batch` therefore
+drives all ``n_b`` DIRECT coroutines in lockstep — each round gathers the
+pending candidate batch of every live search, scores the union with ONE
+``gp.predict``, and hands each search its reweighted slice.  The local
+COBYLA refinements are mutually independent and can fan out across a
+process pool (``n_jobs``); each worker recomputes exactly what the
+sequential loop would, so parallel and sequential proposals are identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.acquisition.functions import WeightedAcquisition
+from repro.acquisition.optimize import default_acquisition_optimizer
+from repro.gp.model import GaussianProcess
+from repro.optim.direct import Direct
+from repro.optim.multistart import GlobalLocalOptimizer
+from repro.utils.parallel import parallel_map
+from repro.utils.validation import check_bounds
+
+
+@dataclass
+class BatchProposal:
+    """One pBO batch: a proposed point per weight plus evaluation counts."""
+
+    X: np.ndarray  # (n_weights, dim)
+    n_evaluations: int
+
+
+@dataclass
+class _WeightSearch:
+    """Bookkeeping for one weight's global DIRECT search."""
+
+    weight: float
+    engine: object
+    points: np.ndarray | None = None
+    done: bool = False
+    n_evaluations: int = 0
+    best_f: float = field(default=np.inf)
+    best_x: np.ndarray | None = None
+
+
+def _refine_task(task) -> tuple[np.ndarray, float, int]:
+    """Local refinement of one weight's incumbent (process-pool safe)."""
+    gp, weight, local_bounds, x0, optimizer = task
+    acquisition = WeightedAcquisition(gp, weight=weight)
+    result = optimizer.minimize(acquisition, local_bounds, x0=x0)
+    return result.x, result.fun, result.n_evaluations
+
+
+def _search_task(task) -> tuple[np.ndarray, int]:
+    """A full independent acquisition search (fallback path)."""
+    gp, weight, bounds, optimizer = task
+    acquisition = WeightedAcquisition(gp, weight=weight)
+    result = optimizer.minimize(acquisition, bounds)
+    return result.x, result.n_evaluations
+
+
+def propose_batch(
+    gp: GaussianProcess,
+    weights,
+    bounds,
+    optimizer_factory=None,
+    n_jobs: int = 1,
+) -> BatchProposal:
+    """Propose one point per pBO weight over the box ``bounds``.
+
+    When the optimizer factory produces the standard DIRECT + local stack
+    (:class:`GlobalLocalOptimizer` with a :class:`Direct` global stage), the
+    global searches run in lockstep sharing one posterior evaluation per
+    candidate union, and the local refinements optionally fan out across
+    ``n_jobs`` processes.  Any other optimizer falls back to independent
+    per-weight searches (still parallelizable across weights).
+    """
+    lower, upper = check_bounds(bounds)
+    dim = lower.shape[0]
+    box = np.column_stack([lower, upper])
+    weights = np.asarray(weights, dtype=float).ravel()
+    factory = optimizer_factory or default_acquisition_optimizer
+    stacks = [factory(dim) for _ in weights]
+    lockstep = all(
+        isinstance(stack, GlobalLocalOptimizer)
+        and isinstance(stack.global_optimizer, Direct)
+        for stack in stacks
+    )
+    if not lockstep:
+        tasks = [
+            (gp, float(w), box, stack) for w, stack in zip(weights, stacks)
+        ]
+        outcomes = parallel_map(_search_task, tasks, n_jobs=n_jobs)
+        X = np.array([x for x, _ in outcomes])
+        evals = int(sum(n for _, n in outcomes))
+        return BatchProposal(X=X, n_evaluations=evals)
+
+    span = upper - lower
+    searches = [
+        _WeightSearch(weight=float(w), engine=stack.global_optimizer.search(dim))
+        for w, stack in zip(weights, stacks)
+    ]
+    for search in searches:
+        search.points = next(search.engine)
+
+    while True:
+        live = [s for s in searches if not s.done]
+        if not live:
+            break
+        union_unit = np.vstack([s.points for s in live])
+        union_X = lower + union_unit * span
+        pred = gp.predict(union_X)
+        mean, std = pred.mean, pred.std
+        offset = 0
+        for search in live:
+            m = search.points.shape[0]
+            mu = mean[offset : offset + m]
+            sigma = std[offset : offset + m]
+            values = (1.0 - search.weight) * mu - search.weight * sigma
+            for j in range(m):
+                search.n_evaluations += 1
+                value = float(values[j])
+                if value < search.best_f:
+                    search.best_f = value
+                    search.best_x = union_X[offset + j].copy()
+            offset += m
+            try:
+                search.points = search.engine.send(values)
+            except StopIteration:
+                search.done = True
+                search.points = None
+
+    # local refinement inside each global incumbent's basin, exactly as
+    # GlobalLocalOptimizer would have done per weight
+    tasks = []
+    for search, stack in zip(searches, stacks):
+        if stack.local_radius is not None:
+            radius = stack.local_radius * span
+            local_lower = np.maximum(lower, search.best_x - radius)
+            local_upper = np.minimum(upper, search.best_x + radius)
+            local_bounds = np.column_stack([local_lower, local_upper])
+        else:
+            local_bounds = box
+        tasks.append(
+            (gp, search.weight, local_bounds, search.best_x, stack.local_optimizer)
+        )
+    refinements = parallel_map(_refine_task, tasks, n_jobs=n_jobs)
+
+    proposed = []
+    total_evals = 0
+    for search, (x_ref, f_ref, n_ref) in zip(searches, refinements):
+        total_evals += search.n_evaluations + n_ref
+        if f_ref <= search.best_f:
+            proposed.append(np.asarray(x_ref, dtype=float))
+        else:
+            proposed.append(search.best_x)
+    return BatchProposal(X=np.array(proposed), n_evaluations=total_evals)

@@ -23,7 +23,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.acquisition.functions import WeightedAcquisition, pbo_weights
+from repro.acquisition.functions import pbo_weights
 from repro.acquisition.optimize import default_acquisition_optimizer
 from repro.bo.engine import (
     KernelFactory,
@@ -31,6 +31,7 @@ from repro.bo.engine import (
     SurrogateManager,
     uniform_initial_design,
 )
+from repro.bo.propose import propose_batch
 from repro.bo.records import RunResult
 from repro.embedding.dimension_selection import (
     DimensionSelectionResult,
@@ -77,6 +78,7 @@ class RemboBO:
         acquisition_optimizer_factory: OptimizerFactory | None = None,
         stop_on_failure: bool = False,
         seed: SeedLike = None,
+        n_jobs: int = 1,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -106,6 +108,7 @@ class RemboBO:
             acquisition_optimizer_factory or default_acquisition_optimizer
         )
         self.stop_on_failure = bool(stop_on_failure)
+        self.n_jobs = int(n_jobs)
         self._rng = as_generator(seed)
 
     def run(
@@ -177,14 +180,15 @@ class RemboBO:
         # lines 5-15: batched sequential design
         for _ in range(n_batches):
             gp = manager.refit(Z, y)
-            new_Z = []
-            for w in self.weights:
-                acq = WeightedAcquisition(gp, weight=float(w))
-                optimizer = self.acquisition_optimizer_factory(d)
-                result = optimizer.minimize(acq, z_box)
-                acquisition_evals += result.n_evaluations
-                new_Z.append(np.clip(result.x, z_lower, z_upper))
-            new_Z = np.array(new_Z)
+            proposal = propose_batch(
+                gp,
+                self.weights,
+                z_box,
+                optimizer_factory=self.acquisition_optimizer_factory,
+                n_jobs=self.n_jobs,
+            )
+            acquisition_evals += proposal.n_evaluations
+            new_Z = np.clip(proposal.X, z_lower, z_upper)
             new_X = embedding.to_original(new_Z)  # x = p_Omega(A z), Eq. 11
             new_y = np.array([float(objective(x)) for x in new_X])
             Z = np.vstack([Z, new_Z])

@@ -22,6 +22,7 @@ from repro.circuits.behavioral.base import CircuitTestbench
 from repro.experiments.config import ExperimentConfig
 from repro.sampling.monte_carlo import MonteCarloSampler
 from repro.sampling.sss import ScaledSigmaSampler
+from repro.utils.rng import SeedLike
 
 #: Paper row order in Tables 1-2.
 METHOD_ORDER = ("MC", "SSS", "EI", "PI", "LCB", "pBO", "This work")
@@ -53,7 +54,7 @@ def run_method(
     spec_name: str,
     cfg: ExperimentConfig,
     initial_data: tuple[np.ndarray, np.ndarray] | None = None,
-    seed: int | None = None,
+    seed: SeedLike = None,
 ) -> RunResult:
     """Execute one method against one spec and return its evaluation log."""
     objective = testbench.objective(spec_name)

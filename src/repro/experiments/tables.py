@@ -16,6 +16,8 @@ from repro.bo.records import FailureSummary, RunResult
 from repro.circuits.behavioral.base import CircuitTestbench
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.methods import METHOD_ORDER, run_method, shared_initial_data
+from repro.utils.parallel import parallel_map
+from repro.utils.rng import spawn
 from repro.utils.tables import format_count, format_sim_budget, render_table
 from repro.utils.timing import format_duration
 
@@ -33,6 +35,7 @@ class TableRow:
     runtime: str
     summary: FailureSummary
     result: RunResult | None = None
+    repeat: int = 0
 
 
 @dataclass
@@ -62,6 +65,16 @@ def _sim_budget_label(method: str, cfg: ExperimentConfig, n_sims: int) -> str:
     )
 
 
+def _run_cell(task) -> RunResult:
+    """Execute one (spec, method, repeat) cell (process-pool safe)."""
+    testbench, spec_name, method, cfg, init, seed = task
+    result = run_method(
+        method, testbench, spec_name, cfg, initial_data=init, seed=seed
+    )
+    result.method = method
+    return result
+
+
 def run_table(
     testbench: CircuitTestbench,
     cfg: ExperimentConfig,
@@ -69,42 +82,66 @@ def run_table(
     specs: list[str] | None = None,
     keep_results: bool = False,
     verbose: bool = False,
+    repeats: int = 1,
+    n_jobs: int = 1,
 ) -> TableResult:
-    """Run ``methods`` × ``specs`` and collect paper-style rows."""
+    """Run ``methods`` × ``specs`` (× ``repeats``) and collect paper rows.
+
+    With ``repeats == 1`` (default) every cell runs at ``cfg.seed``, exactly
+    as before.  ``repeats > 1`` derives one independent seed stream per cell
+    via :func:`repro.utils.rng.spawn` from ``cfg.seed`` — the streams depend
+    only on cell order, so results are bit-identical for any ``n_jobs``.
+    Cells are mutually independent; ``n_jobs > 1`` fans them out across a
+    process pool.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
     spec_names = specs if specs is not None else list(testbench.specs)
     table = TableResult(testbench_name=type(testbench).__name__)
+
+    tasks = []
+    labels: list[tuple[str, str, int]] = []
+    cell_rng = np.random.default_rng(cfg.seed)
     for spec_name in spec_names:
-        spec = testbench.specs[spec_name]
         init = shared_initial_data(testbench, spec_name, cfg)
         for method in methods:
-            result = run_method(
-                method, testbench, spec_name, cfg, initial_data=init
+            if repeats == 1:
+                seeds = [None]  # run_method falls back to cfg.seed
+            else:
+                seeds = spawn(cell_rng, repeats)
+            for repeat, seed in enumerate(seeds):
+                tasks.append((testbench, spec_name, method, cfg, init, seed))
+                labels.append((spec_name, method, repeat))
+
+    results = parallel_map(_run_cell, tasks, n_jobs=n_jobs)
+
+    for (spec_name, method, repeat), result in zip(labels, results):
+        spec = testbench.specs[spec_name]
+        summary = result.summarize(testbench.threshold(spec_name))
+        summary.method = method
+        row = TableRow(
+            spec_name=spec_name,
+            target=f"{spec.threshold:g}{spec.units}",
+            method=method,
+            sim_budget=_sim_budget_label(method, cfg, result.n_evaluations),
+            worst_case=spec.format_value(result.best_y),
+            first_failure=(
+                str(summary.first_failure_index)
+                if summary.detected
+                else "-"
+            ),
+            runtime=format_duration(result.runtime_seconds),
+            summary=summary,
+            result=result if keep_results else None,
+            repeat=repeat,
+        )
+        table.rows.append(row)
+        if verbose:
+            print(
+                f"[{table.testbench_name}/{spec_name}] {method}: "
+                f"worst={row.worst_case} first={row.first_failure} "
+                f"({row.runtime})"
             )
-            result.method = method
-            summary = result.summarize(testbench.threshold(spec_name))
-            summary.method = method
-            row = TableRow(
-                spec_name=spec_name,
-                target=f"{spec.threshold:g}{spec.units}",
-                method=method,
-                sim_budget=_sim_budget_label(method, cfg, result.n_evaluations),
-                worst_case=spec.format_value(result.best_y),
-                first_failure=(
-                    str(summary.first_failure_index)
-                    if summary.detected
-                    else "-"
-                ),
-                runtime=format_duration(result.runtime_seconds),
-                summary=summary,
-                result=result if keep_results else None,
-            )
-            table.rows.append(row)
-            if verbose:
-                print(
-                    f"[{table.testbench_name}/{spec_name}] {method}: "
-                    f"worst={row.worst_case} first={row.first_failure} "
-                    f"({row.runtime})"
-                )
     return table
 
 

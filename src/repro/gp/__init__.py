@@ -1,5 +1,6 @@
 """Gaussian-process surrogate modeling (paper Section 2.2.1, Eqs. 3-8)."""
 
+from repro.gp.evaluator import MarginalLikelihoodEvaluator
 from repro.gp.hyperopt import HyperoptResult, fit_hyperparameters
 from repro.gp.mean import ConstantMean, MeanFunction, ZeroMean
 from repro.gp.model import GaussianProcess, GPPrediction
@@ -8,6 +9,7 @@ from repro.gp.standardize import Standardizer
 __all__ = [
     "GaussianProcess",
     "GPPrediction",
+    "MarginalLikelihoodEvaluator",
     "fit_hyperparameters",
     "HyperoptResult",
     "MeanFunction",

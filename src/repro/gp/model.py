@@ -15,14 +15,67 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-from scipy.linalg import cho_factor, cho_solve, cholesky, solve_triangular
+from scipy.linalg import cho_solve, cholesky, solve_triangular
 
 from repro.gp.mean import MeanFunction, ZeroMean
-from repro.kernels.base import Kernel
+from repro.kernels.base import Kernel, KernelWorkspace
 from repro.utils.validation import as_matrix, as_vector
 
 #: Diagonal jitter ladder tried when the Gram matrix is numerically singular.
 _JITTERS = (0.0, 1e-10, 1e-8, 1e-6, 1e-4)
+
+try:  # resolve the LAPACK factorization/inverse routines once, not per call
+    from scipy.linalg.lapack import get_lapack_funcs as _get_lapack_funcs
+
+    _potrf, _potrs, _potri = _get_lapack_funcs(
+        ("potrf", "potrs", "potri"), (np.empty((1, 1)),)
+    )
+except ImportError:  # pragma: no cover - scipy always ships lapack
+    _potrf = _potrs = _potri = None
+
+
+def chol_with_jitter(A: np.ndarray) -> np.ndarray:
+    """Lower Cholesky of ``A``, climbing the jitter ladder in place.
+
+    ``A`` must already include the noise term on its diagonal and is mutated
+    (jitter is accumulated onto the diagonal between attempts) — callers pass
+    a freshly built matrix.  Raises ``LinAlgError`` if even the largest
+    jitter fails.
+    """
+    diag = np.einsum("ii->i", A)
+    added = 0.0
+    last_error: Exception | None = None
+    for jitter in _JITTERS:
+        if jitter != added:
+            diag += jitter - added
+            added = jitter
+        try:
+            return cholesky(A, lower=True, check_finite=False)
+        except np.linalg.LinAlgError as exc:  # pragma: no cover - rare
+            last_error = exc
+    raise np.linalg.LinAlgError(
+        "Gram matrix is not positive definite even with jitter"
+    ) from last_error
+
+
+def inv_from_cholesky(chol: np.ndarray) -> np.ndarray:
+    """Full inverse ``A^{-1}`` from the lower Cholesky factor of ``A``.
+
+    Uses LAPACK ``dpotri`` (n^3/3 flops) instead of ``cho_solve`` against an
+    identity matrix (n^3 flops); falls back to the latter if the LAPACK
+    routine is unavailable.  ``chol`` must have an explicitly zeroed strict
+    upper triangle (as every factor produced in this module does), which
+    makes the symmetrization a plain transpose-add instead of a masked copy.
+    """
+    if _potri is None:  # pragma: no cover - scipy always ships lapack
+        return cho_solve((chol, True), np.eye(chol.shape[0]))
+    inv, info = _potri(chol, lower=True)
+    if info != 0:  # pragma: no cover - factor is already validated
+        raise np.linalg.LinAlgError(f"dpotri failed with info={info}")
+    # dpotri fills only the lower triangle; the upper stays zero from chol
+    out = inv + inv.T
+    np.einsum("ii->i", out)[:] = np.einsum("ii->i", inv)
+    return out
 
 
 @dataclass
@@ -73,6 +126,23 @@ class GaussianProcess:
         self._y: np.ndarray | None = None
         self._chol: np.ndarray | None = None
         self._alpha: np.ndarray | None = None
+        self._ws: KernelWorkspace | None = None
+        self._K_inv: np.ndarray | None = None
+        self._theta_fitted: np.ndarray | None = None
+
+    def __getstate__(self) -> dict:
+        # the workspace caches O(n^2 dim) tensors rebuilt lazily on demand;
+        # dropping them keeps pickles (process-pool payloads) small
+        state = self.__dict__.copy()
+        state["_ws"] = None
+        state["_K_inv"] = None
+        return state
+
+    @property
+    def _workspace(self) -> KernelWorkspace:
+        if self._ws is None:
+            self._ws = self.kernel.make_workspace(self._X)
+        return self._ws
 
     # -- hyperparameter vector ----------------------------------------------
 
@@ -134,11 +204,19 @@ class GaussianProcess:
         y = as_vector(y, X.shape[0])
         self._X = X
         self._y = y
+        self._ws = None
         self._refit()
         return self
 
     def add_data(self, X, y) -> "GaussianProcess":
-        """Append observations and re-condition (sequential BO update)."""
+        """Append observations and re-condition (sequential BO update).
+
+        When the hyperparameters are unchanged since the last factorization,
+        the Cholesky factor is extended by a rank-``k`` block update in
+        O(n^2 k) instead of refactorizing from scratch in O(n^3); an exact
+        full refit is the fallback whenever the update is numerically
+        infeasible or the hyperparameters moved.
+        """
         X = as_matrix(X)
         y = as_vector(y, X.shape[0])
         if self._X is None:
@@ -147,28 +225,70 @@ class GaussianProcess:
             raise ValueError(
                 f"new points have dim {X.shape[1]}, model has {self._X.shape[1]}"
             )
+        y_all = np.concatenate([self._y, y])
+        if self._try_append_points(X):
+            self._y = y_all
+            self._refresh_alpha()
+            return self
         self._X = np.vstack([self._X, X])
-        self._y = np.concatenate([self._y, y])
+        self._y = y_all
+        self._ws = None
         self._refit()
         return self
 
-    def _refit(self) -> None:
-        K = self.kernel(self._X)
-        n = K.shape[0]
-        base = K + self.noise_variance * np.eye(n)
-        last_error: Exception | None = None
-        for jitter in _JITTERS:
-            try:
-                self._chol = cholesky(base + jitter * np.eye(n), lower=True)
-                break
-            except np.linalg.LinAlgError as exc:  # pragma: no cover - rare
-                last_error = exc
-        else:  # pragma: no cover - pathological kernels only
-            raise np.linalg.LinAlgError(
-                "Gram matrix is not positive definite even with jitter"
-            ) from last_error
+    def set_labels(self, y) -> "GaussianProcess":
+        """Replace the training labels, keeping inputs and factorization.
+
+        Only the residual solve is redone (O(n^2)); used when labels are
+        re-standardized after a batch of new observations.
+        """
+        if self._X is None:
+            raise RuntimeError("GP has not been fitted")
+        self._y = as_vector(y, self._X.shape[0])
+        self._refresh_alpha()
+        return self
+
+    def _try_append_points(self, X_new: np.ndarray) -> bool:
+        """Extend ``_chol`` by a rank-k block update; False means refit."""
+        if self._chol is None or self._theta_fitted is None:
+            return False
+        if not np.array_equal(self.theta, self._theta_fitted):
+            return False
+        ws = self._workspace
+        n, k = ws.n, X_new.shape[0]
+        B = self.kernel.cross(ws, X_new)  # (n, k)
+        C = self.kernel(X_new)
+        C_diag = np.einsum("ii->i", C)
+        C_diag += self.noise_variance
+        L21T = solve_triangular(self._chol, B, lower=True, check_finite=False)  # (n, k)
+        S = C - L21T.T @ L21T
+        try:
+            L22 = cholesky(S, lower=True, check_finite=False)
+        except np.linalg.LinAlgError:
+            return False
+        L = np.zeros((n + k, n + k))
+        L[:n, :n] = self._chol
+        L[n:, :n] = L21T.T
+        L[n:, n:] = L22
+        self._chol = L
+        self._ws = self.kernel.extend_workspace(ws, X_new)
+        self._X = self._ws.X
+        return True
+
+    def _refresh_alpha(self) -> None:
         residual = self._y - self.mean(self._X)
-        self._alpha = cho_solve((self._chol, True), residual)
+        self._alpha = cho_solve((self._chol, True), residual, check_finite=False)
+        self._K_inv = None
+
+    def _refit(self) -> None:
+        K = self.kernel.gram(self._workspace)
+        # gram() returns a fresh matrix: add noise (and any jitter) in place
+        # on its diagonal instead of allocating identity matrices per attempt
+        diag = np.einsum("ii->i", K)
+        diag += self.noise_variance
+        self._chol = chol_with_jitter(K)
+        self._theta_fitted = self.theta.copy()
+        self._refresh_alpha()
 
     # -- prediction -------------------------------------------------------------
 
@@ -177,9 +297,9 @@ class GaussianProcess:
         if not self.is_fitted:
             raise RuntimeError("GP has not been fitted")
         X = as_matrix(X, self._X.shape[1])
-        k_star = self.kernel(self._X, X)  # (n_train, n_test)
+        k_star = self.kernel.cross(self._workspace, X)  # (n_train, n_test)
         mean = self.mean(X) + k_star.T @ self._alpha
-        v = solve_triangular(self._chol, k_star, lower=True)
+        v = solve_triangular(self._chol, k_star, lower=True, check_finite=False)
         variance = self.kernel.diag(X) - np.sum(v**2, axis=0)
         return GPPrediction(mean=mean, variance=np.maximum(variance, 0.0))
 
@@ -188,9 +308,9 @@ class GaussianProcess:
         if not self.is_fitted:
             raise RuntimeError("GP has not been fitted")
         X = as_matrix(X, self._X.shape[1])
-        k_star = self.kernel(self._X, X)
+        k_star = self.kernel.cross(self._workspace, X)
         mean = self.mean(X) + k_star.T @ self._alpha
-        v = solve_triangular(self._chol, k_star, lower=True)
+        v = solve_triangular(self._chol, k_star, lower=True, check_finite=False)
         cov = self.kernel(X) - v.T @ v
         return mean, cov
 
@@ -220,6 +340,9 @@ class GaussianProcess:
 
         Uses the standard identity
         ``dL/dθ_j = ½ tr((α αᵀ − K⁻¹) ∂K/∂θ_j)`` with ``α = K⁻¹ (y − m)``.
+
+        This is the reference two-pass path; hyperparameter fitting uses the
+        fused :meth:`log_marginal_likelihood_value_and_gradient` instead.
         """
         if not self.is_fitted:
             raise RuntimeError("GP has not been fitted")
@@ -234,6 +357,34 @@ class GaussianProcess:
             # d(K + σ² I)/d(log σ²) = σ² I
             grads.append(0.5 * self.noise_variance * np.trace(inner))
         return np.asarray(grads)
+
+    def _posterior_precision(self) -> np.ndarray:
+        """``(K + σ² I)^{-1}``, cached until the factorization changes."""
+        if self._K_inv is None:
+            self._K_inv = inv_from_cholesky(self._chol)
+        return self._K_inv
+
+    def log_marginal_likelihood_value_and_gradient(
+        self,
+    ) -> tuple[float, np.ndarray]:
+        """Eq. 8 and its θ-gradient sharing one Cholesky and one ``K⁻¹``.
+
+        The gradient contraction is delegated to
+        :meth:`Kernel.gradient_inner_products`, which for stationary kernels
+        collapses all per-lengthscale traces into a handful of BLAS calls on
+        workspace-cached tensors instead of materializing each ``∂K/∂θ_j``.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("GP has not been fitted")
+        value = self.log_marginal_likelihood()
+        K_inv = self._posterior_precision()
+        inner = np.outer(self._alpha, self._alpha)
+        inner -= K_inv
+        grads = self.kernel.gradient_inner_products(self._workspace, inner)
+        if self.train_noise:
+            noise_grad = 0.5 * self.noise_variance * np.trace(inner)
+            grads = np.concatenate([grads, [noise_grad]])
+        return value, np.asarray(grads)
 
     # -- diagnostics -----------------------------------------------------------
 
@@ -255,9 +406,7 @@ class GaussianProcess:
         """
         if not self.is_fitted:
             raise RuntimeError("GP has not been fitted")
-        n = self._X.shape[0]
-        K_inv = cho_solve((self._chol, True), np.eye(n))
-        diag = np.diag(K_inv)
+        diag = np.diag(self._posterior_precision())
         return self._alpha / np.maximum(diag, 1e-300)
 
     def loo_mse(self) -> float:

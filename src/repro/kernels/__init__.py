@@ -1,6 +1,6 @@
 """Covariance functions for the GP surrogate (paper Section 2.2.1)."""
 
-from repro.kernels.base import Kernel, pairwise_sq_dists
+from repro.kernels.base import Kernel, KernelWorkspace, pairwise_sq_dists
 from repro.kernels.composite import ProductKernel, ScaledKernel, SumKernel
 from repro.kernels.stationary import (
     RBF,
@@ -15,6 +15,7 @@ from repro.kernels.stationary import (
 
 __all__ = [
     "Kernel",
+    "KernelWorkspace",
     "pairwise_sq_dists",
     "StationaryKernel",
     "SquaredExponential",

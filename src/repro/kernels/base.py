@@ -5,6 +5,12 @@ Kernels expose their tunable hyperparameters as an unconstrained flat vector
 marginal-likelihood optimizer in :mod:`repro.gp` works with.  Gradients of
 the Gram matrix with respect to each ``theta`` entry are provided so that GP
 hyperparameter fitting can use analytic derivatives (paper Eq. 8).
+
+Kernels also support a per-dataset :class:`KernelWorkspace`: marginal-
+likelihood fitting evaluates the Gram matrix and its gradients hundreds of
+times at different hyperparameters over the *same* training inputs, so the
+input-dependent structure (pairwise squared differences) is cached once and
+rescaled per evaluation instead of being rebuilt from ``X``.
 """
 
 from __future__ import annotations
@@ -14,6 +20,28 @@ import abc
 import numpy as np
 
 from repro.utils.validation import as_matrix
+
+
+class KernelWorkspace:
+    """Per-dataset cache of input-dependent kernel structure.
+
+    The workspace is opaque to callers: it stores the training inputs plus a
+    ``cache`` dict that each kernel class fills lazily with whatever derived
+    tensors it needs (per-dimension squared differences for ARD kernels,
+    scaled-input caches for cross-covariances, ...).  Hyperparameter values
+    are *never* baked into the required entries, so one workspace serves
+    every theta evaluated during a hyperparameter fit.
+    """
+
+    __slots__ = ("X", "cache")
+
+    def __init__(self, X: np.ndarray) -> None:
+        self.X = as_matrix(X)
+        self.cache: dict = {}
+
+    @property
+    def n(self) -> int:
+        return self.X.shape[0]
 
 
 class Kernel(abc.ABC):
@@ -59,6 +87,50 @@ class Kernel(abc.ABC):
 
         return copy.deepcopy(self)
 
+    # -- per-dataset workspaces --------------------------------------------
+    #
+    # The defaults fall back to the plain ``X``-based evaluation so that any
+    # kernel (composites included) works with workspace-driven callers; the
+    # stationary family overrides them with cached-tensor fast paths.
+
+    def make_workspace(self, X: np.ndarray) -> KernelWorkspace:
+        """Build a reusable evaluation workspace for the inputs ``X``."""
+        return KernelWorkspace(X)
+
+    def extend_workspace(
+        self, ws: KernelWorkspace, X_new: np.ndarray
+    ) -> KernelWorkspace:
+        """Return a workspace for ``[ws.X; X_new]``, reusing cached blocks."""
+        return self.make_workspace(np.vstack([ws.X, as_matrix(X_new)]))
+
+    def gram(self, ws: KernelWorkspace) -> np.ndarray:
+        """Training Gram matrix at the current hyperparameters.
+
+        Always returns a freshly allocated matrix the caller may mutate.
+        """
+        return self(ws.X)
+
+    def gradients_ws(self, ws: KernelWorkspace) -> list[np.ndarray]:
+        """``[dK/dtheta_j, ...]`` over the workspace inputs."""
+        return self.gradients(ws.X)
+
+    def cross(self, ws: KernelWorkspace, Z: np.ndarray) -> np.ndarray:
+        """Cross Gram matrix ``k(ws.X, Z)`` (the prediction hot path)."""
+        return self(ws.X, Z)
+
+    def gradient_inner_products(
+        self, ws: KernelWorkspace, inner: np.ndarray
+    ) -> np.ndarray:
+        """``0.5 * sum(inner * dK/dtheta_j)`` for each hyperparameter.
+
+        This is the contraction the marginal-likelihood gradient needs
+        (``inner = alpha alpha^T - K^{-1}``); computing it directly lets
+        subclasses avoid materializing each ``dK/dtheta_j``.
+        """
+        return np.array(
+            [0.5 * np.sum(inner * dK) for dK in self.gradients_ws(ws)]
+        )
+
     # -- operator sugar ----------------------------------------------------
 
     def __add__(self, other: "Kernel") -> "Kernel":
@@ -85,9 +157,8 @@ def pairwise_sq_dists(
     Z = as_matrix(Z)
     Xs = X / lengthscales
     Zs = Z / lengthscales
-    sq = (
-        np.sum(Xs**2, axis=1)[:, None]
-        + np.sum(Zs**2, axis=1)[None, :]
-        - 2.0 * Xs @ Zs.T
-    )
-    return np.maximum(sq, 0.0)
+    sq = Xs @ Zs.T
+    sq *= -2.0
+    sq += np.einsum("ij,ij->i", Xs, Xs)[:, None]
+    sq += np.einsum("ij,ij->i", Zs, Zs)[None, :]
+    return np.maximum(sq, 0.0, out=sq)

@@ -73,3 +73,26 @@ class CountingObjective:
             self.best_x = np.array(x, dtype=float)
             self.history.append((self.n_evaluations, value))
         return value
+
+    def evaluate(self, X: np.ndarray) -> np.ndarray:
+        """Score a ``(m, dim)`` batch, counting each row in order.
+
+        Objectives exposing a batched ``evaluate(X) -> (m,)`` method (the
+        acquisition functions) are called once for the whole batch; plain
+        callables fall back to a row-by-row loop.  Best-so-far bookkeeping
+        is identical to ``m`` sequential :meth:`__call__`\\ s.
+        """
+        X = np.asarray(X, dtype=float)
+        batch = getattr(self._fun, "evaluate", None)
+        if batch is not None:
+            values = np.asarray(batch(X), dtype=float)
+        else:
+            values = np.array([float(self._fun(x)) for x in X])
+        for i in range(X.shape[0]):
+            self.n_evaluations += 1
+            value = float(values[i])
+            if value < self.best_f:
+                self.best_f = value
+                self.best_x = np.array(X[i], dtype=float)
+                self.history.append((self.n_evaluations, value))
+        return values

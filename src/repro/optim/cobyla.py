@@ -16,7 +16,10 @@ function-evaluation count grow super-linearly with dimension in Fig. 2.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
+from scipy.linalg import lu_factor, lu_solve
 
 from repro.optim.base import CountingObjective, Objective, Optimizer
 from repro.optim.result import OptimizationResult
@@ -78,7 +81,10 @@ class Cobyla(Optimizer):
                 step[k] = radius if anchor[k] + radius <= upper[k] else -radius
                 vertices.append(clip(anchor + step))
             V = np.array(vertices)
-            f = np.array([counted(v) for v in V])
+            # one batched call: objectives with a vectorized ``evaluate``
+            # (the acquisition functions) score the whole simplex in a
+            # single posterior evaluation instead of dim + 1 of them
+            f = np.asarray(counted.evaluate(V), dtype=float)
             return V, f
 
         budget_left = lambda n: counted.n_evaluations + n <= self.max_evaluations
@@ -107,15 +113,22 @@ class Cobyla(Optimizer):
             V, f = V[order], f[order]
             best, worst = V[0], V[-1]
 
-            # linear interpolation model: S g = df
+            # linear interpolation model: S g = df.  S is square (dim + 1
+            # vertices), so one LU factorization both solves the system and
+            # exposes degeneracy through the magnitude of its pivots — far
+            # cheaper than the SVD an lstsq/matrix_rank pair would run.
             S = V[1:] - V[0]
             df = f[1:] - f[0]
-            g, *_ = np.linalg.lstsq(S, df, rcond=None)
-            grad_norm = float(np.linalg.norm(g))
-
-            degenerate = (
-                np.linalg.matrix_rank(S, tol=1e-12 * max(rho, 1e-300)) < dim
-            )
+            tol = 1e-12 * max(rho, 1e-300)
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")  # exact-singular LU warns
+                lu, piv = lu_factor(S, check_finite=False)
+            pivots = np.abs(np.einsum("ii->i", lu))
+            degenerate = bool(pivots.min() <= tol)
+            grad_norm = 0.0
+            if not degenerate:
+                g = lu_solve((lu, piv), df, check_finite=False)
+                grad_norm = float(np.linalg.norm(g))
             if grad_norm < 1e-14 or degenerate:
                 # geometry step: rebuild the simplex around the incumbent
                 if rho <= rho_end:

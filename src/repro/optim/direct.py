@@ -12,11 +12,21 @@ this is a from-scratch implementation of the same algorithm family:
   refinement and keeps the number of divisions per iteration small.
 
 Only box bounds are supported, which is all acquisition optimization needs.
+
+The search is implemented as a coroutine (:meth:`Direct.search`) that yields
+whole *batches* of unit-cube candidates and receives their objective values:
+when no ``f_target`` is set, every division of an iteration collapses into a
+single batch (budget gating is deterministic at two evaluations per
+division), otherwise one batch per divided rectangle so the early-stop check
+between rectangles keeps its sequential semantics.  :meth:`minimize` drives
+the coroutine against a single objective; the BO proposal path drives
+several coroutines in lockstep to share surrogate predictions.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Generator
 
 import numpy as np
 
@@ -28,6 +38,15 @@ _EPS = 1e-4
 
 
 @dataclass
+class SearchOutcome:
+    """Terminal state of one :meth:`Direct.search` coroutine run."""
+
+    message: str
+    success: bool
+    n_iterations: int
+
+
+@dataclass
 class _Rect:
     """A hyperrectangle in the normalized unit cube."""
 
@@ -35,6 +54,7 @@ class _Rect:
     f: float
     levels: np.ndarray  # trisection count per dimension; side_k = 3^-levels_k
     size: float = field(default=0.0)  # cached size measure, set by Direct
+    size_key: float = field(default=0.0)  # size rounded for grouping, ditto
 
     def side_lengths(self) -> np.ndarray:
         return 3.0 ** (-self.levels.astype(float))
@@ -80,6 +100,15 @@ class Direct(Optimizer):
         if self.locally_biased:
             return float(np.max(sides))  # longest side (Gablonsky)
         return float(0.5 * np.linalg.norm(sides))  # half-diagonal (Jones)
+
+    def _set_size(self, rect: _Rect) -> None:
+        """Cache the size measure and its rounded grouping key on the rect.
+
+        The selection loop groups every live rectangle per iteration; caching
+        ``round(size, 12)`` here keeps that loop free of number formatting.
+        """
+        rect.size = self._size(rect)
+        rect.size_key = round(rect.size, 12)
 
     @staticmethod
     def _potentially_optimal(
@@ -127,27 +156,59 @@ class Direct(Optimizer):
         dim = lower.shape[0]
         span = upper - lower
         counted = CountingObjective(fun)
+        engine = self.search(dim)
+        points = next(engine)
+        outcome: SearchOutcome
+        while True:
+            values = counted.evaluate(lower + points * span)
+            try:
+                points = engine.send(values)
+            except StopIteration as stop:
+                outcome = stop.value
+                break
+        if counted.best_x is None:  # pragma: no cover - budget >= 1 guards this
+            raise RuntimeError("DIRECT made no evaluations")
+        return OptimizationResult(
+            x=counted.best_x,
+            fun=counted.best_f,
+            n_evaluations=counted.n_evaluations,
+            n_iterations=outcome.n_iterations,
+            success=outcome.success,
+            message=outcome.message,
+            history=list(counted.history),
+        )
 
-        def eval_unit(u: np.ndarray) -> float:
-            return counted(lower + u * span)
+    def search(
+        self, dim: int
+    ) -> Generator[np.ndarray, np.ndarray, SearchOutcome]:
+        """Coroutine over the unit cube yielding candidate batches.
 
+        Each ``yield`` produces an ``(m, dim)`` array of centers to score;
+        the caller sends back the ``(m,)`` objective values.  Values are
+        consumed in batch order, so a caller tracking best-so-far state sees
+        exactly the sequence a point-at-a-time evaluation would have
+        produced.  Returns a :class:`SearchOutcome` via ``StopIteration``.
+        """
         center = np.full(dim, 0.5)
-        root = _Rect(center=center, f=eval_unit(center), levels=np.zeros(dim, dtype=int))
-        root.size = self._size(root)
+        values = yield center[None, :]
+        count = 1
+        best_f = float(values[0])
+        root = _Rect(center=center, f=best_f, levels=np.zeros(dim, dtype=int))
+        self._set_size(root)
         rects: list[_Rect] = [root]
         message = "max iterations reached"
         success = False
         iteration = 0
 
         for iteration in range(1, self.max_iterations + 1):
-            if self._done(counted):
-                message, success = self._stop_reason(counted)
+            if self._done(count, best_f):
+                message, success = self._stop_reason(best_f)
                 break
 
             # group rectangles by (cached) size measure, per-size minimum
             by_size: dict[float, tuple[float, int]] = {}
             for i, rect in enumerate(rects):
-                size = round(rect.size, 12)
+                size = rect.size_key
                 best = by_size.get(size)
                 if best is None or rect.f < best[0]:
                     by_size[size] = (rect.f, i)
@@ -158,82 +219,135 @@ class Direct(Optimizer):
                 message, success = "size tolerance reached", True
                 break
 
-            selected = self._potentially_optimal(groups, counted.best_f)
+            selected = self._potentially_optimal(groups, best_f)
             budget_exhausted = False
-            for rect_idx in selected:
-                if self._done(counted):
-                    budget_exhausted = True
+            if self.f_target is None:
+                # budget gating is deterministic at 2 evals per division, so
+                # the whole iteration's divisions collapse into one batch
+                plan: list[tuple[int, list[int]]] = []
+                simulated = count
+                for rect_idx in selected:
+                    if simulated + 2 > self.max_evaluations:
+                        budget_exhausted = True
+                        break
+                    pairs = []
+                    for k in self._division_dims(rects[rect_idx]):
+                        if simulated + 2 > self.max_evaluations:
+                            break
+                        pairs.append(int(k))
+                        simulated += 2
+                    plan.append((rect_idx, pairs))
+                if plan:
+                    points = self._planned_points(rects, plan)
+                    values = yield points
+                    count += points.shape[0]
+                    best_f = min(best_f, float(np.min(values)))
+                    self._apply_divisions(rects, plan, points, values)
+                if budget_exhausted:
+                    message, success = self._stop_reason(best_f)
                     break
-                self._divide(rects, rect_idx, eval_unit, counted)
-            if budget_exhausted:
-                message, success = self._stop_reason(counted)
-                break
+            else:
+                # f_target may trip between rectangles: one batch per rect
+                for rect_idx in selected:
+                    if self._done(count, best_f):
+                        budget_exhausted = True
+                        break
+                    pairs = []
+                    simulated = count
+                    for k in self._division_dims(rects[rect_idx]):
+                        if simulated + 2 > self.max_evaluations:
+                            break
+                        pairs.append(int(k))
+                        simulated += 2
+                    if not pairs:
+                        continue
+                    plan = [(rect_idx, pairs)]
+                    points = self._planned_points(rects, plan)
+                    values = yield points
+                    count += points.shape[0]
+                    best_f = min(best_f, float(np.min(values)))
+                    self._apply_divisions(rects, plan, points, values)
+                if budget_exhausted:
+                    message, success = self._stop_reason(best_f)
+                    break
         else:
             iteration = self.max_iterations
 
-        if counted.best_x is None:  # pragma: no cover - budget >= 1 guards this
-            raise RuntimeError("DIRECT made no evaluations")
-        if self._done(counted) and not success:
-            message, success = self._stop_reason(counted)
-        return OptimizationResult(
-            x=counted.best_x,
-            fun=counted.best_f,
-            n_evaluations=counted.n_evaluations,
-            n_iterations=iteration,
-            success=success,
-            message=message,
-            history=list(counted.history),
+        if self._done(count, best_f) and not success:
+            message, success = self._stop_reason(best_f)
+        return SearchOutcome(
+            message=message, success=success, n_iterations=iteration
         )
 
-    def _done(self, counted: CountingObjective) -> bool:
+    def _done(self, count: int, best_f: float) -> bool:
         # a division costs two evaluations, so one remaining slot is as
         # exhausted as zero — without this the loop would spin eval-free
-        if counted.n_evaluations + 2 > self.max_evaluations:
+        if count + 2 > self.max_evaluations:
             return True
-        return self.f_target is not None and counted.best_f <= self.f_target
+        return self.f_target is not None and best_f <= self.f_target
 
-    def _stop_reason(self, counted: CountingObjective) -> tuple[str, bool]:
-        if self.f_target is not None and counted.best_f <= self.f_target:
+    def _stop_reason(self, best_f: float) -> tuple[str, bool]:
+        if self.f_target is not None and best_f <= self.f_target:
             return "f_target reached", True
         return "evaluation budget exhausted", False
 
-    def _divide(
-        self,
-        rects: list[_Rect],
-        rect_idx: int,
-        eval_unit,
-        counted: CountingObjective,
-    ) -> None:
-        """Trisect ``rects[rect_idx]`` along its longest side(s)."""
-        rect = rects[rect_idx]
+    def _division_dims(self, rect: _Rect) -> np.ndarray:
+        """Longest-side dimensions eligible for trisection."""
         min_level = int(np.min(rect.levels))
         longest = np.flatnonzero(rect.levels == min_level)
         if self.locally_biased:
             longest = longest[:1]  # single longest side (DIRECT-L)
+        return longest
 
-        delta = 3.0 ** (-(min_level + 1))
-        samples: list[tuple[int, float, float, np.ndarray, np.ndarray]] = []
-        for k in longest:
-            if counted.n_evaluations + 2 > self.max_evaluations:
-                break
-            plus = rect.center.copy()
-            plus[k] += delta
-            minus = rect.center.copy()
-            minus[k] -= delta
-            f_plus = eval_unit(plus)
-            f_minus = eval_unit(minus)
-            samples.append((int(k), f_plus, f_minus, plus, minus))
-        if not samples:
-            return
+    @staticmethod
+    def _planned_points(
+        rects: list[_Rect], plan: list[tuple[int, list[int]]]
+    ) -> np.ndarray:
+        """Candidate centers for a division plan, plus/minus per dimension."""
+        points: list[np.ndarray] = []
+        for rect_idx, pairs in plan:
+            rect = rects[rect_idx]
+            delta = 3.0 ** (-(int(np.min(rect.levels)) + 1))
+            for k in pairs:
+                plus = rect.center.copy()
+                plus[k] += delta
+                minus = rect.center.copy()
+                minus[k] -= delta
+                points.append(plus)
+                points.append(minus)
+        return np.array(points)
 
-        # divide best-w dimension first so it receives the largest children
-        samples.sort(key=lambda item: min(item[1], item[2]))
-        levels = rect.levels.copy()
-        for k, f_plus, f_minus, plus, minus in samples:
-            levels[k] += 1
-            for child_center, child_f in ((plus, f_plus), (minus, f_minus)):
-                child = _Rect(center=child_center, f=child_f, levels=levels.copy())
-                child.size = self._size(child)
-                rects.append(child)
-        rect.levels = levels
-        rect.size = self._size(rect)
+    def _apply_divisions(
+        self,
+        rects: list[_Rect],
+        plan: list[tuple[int, list[int]]],
+        points: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        """Create the child rectangles for an evaluated division plan."""
+        offset = 0
+        for rect_idx, pairs in plan:
+            rect = rects[rect_idx]
+            samples: list[tuple[int, float, float, np.ndarray, np.ndarray]] = []
+            for k in pairs:
+                plus = points[offset]
+                f_plus = float(values[offset])
+                minus = points[offset + 1]
+                f_minus = float(values[offset + 1])
+                offset += 2
+                samples.append((k, f_plus, f_minus, plus, minus))
+            if not samples:
+                continue
+            # divide best-w dimension first so it gets the largest children
+            samples.sort(key=lambda item: min(item[1], item[2]))
+            levels = rect.levels.copy()
+            for k, f_plus, f_minus, plus, minus in samples:
+                levels[k] += 1
+                for child_center, child_f in ((plus, f_plus), (minus, f_minus)):
+                    child = _Rect(
+                        center=child_center, f=child_f, levels=levels.copy()
+                    )
+                    self._set_size(child)
+                    rects.append(child)
+            rect.levels = levels
+            self._set_size(rect)

@@ -1,0 +1,48 @@
+"""Opt-in process-pool fan-out for independent, deterministic tasks.
+
+Parallelism in this repo is only applied where each task is a pure function
+of its (picklable) argument and tasks are mutually independent — per-weight
+acquisition refinements, per-cell experiment runs.  Results always come
+back in task order, so ``n_jobs > 1`` reproduces the sequential output
+bit for bit; randomness must be passed in via pre-spawned seeds
+(:func:`repro.utils.rng.spawn`), never drawn inside a worker from global
+state.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_n_jobs(n_jobs: int | None) -> int:
+    """Normalize an ``n_jobs`` knob: None/0/negative mean "all cores"."""
+    if n_jobs is None or n_jobs <= 0:
+        return os.cpu_count() or 1
+    return int(n_jobs)
+
+
+def parallel_map(
+    fn: Callable[[T], R], tasks: Iterable[T], n_jobs: int = 1
+) -> list[R]:
+    """``[fn(t) for t in tasks]``, optionally across a process pool.
+
+    ``n_jobs <= 1`` runs sequentially in-process.  Larger values fan out to
+    at most ``min(n_jobs, len(tasks))`` worker processes (fork start method
+    where available); ``fn`` and every task must be picklable.
+    """
+    task_list: Sequence[T] = list(tasks)
+    workers = min(resolve_n_jobs(n_jobs), len(task_list))
+    if workers <= 1 or len(task_list) <= 1:
+        return [fn(task) for task in task_list]
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in methods else methods[0]
+    )
+    with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+        return list(pool.map(fn, task_list))

@@ -1,0 +1,202 @@
+"""Equivalence guards for the vectorized GP hot path.
+
+The hot-path rework (cached kernel workspaces, fused LML value+gradient,
+incremental Cholesky updates, batched/lockstep acquisition evaluation and
+the opt-in process pool) is pure plumbing: every optimization must return
+what the straightforward implementation returns, to tight tolerance.
+These tests pin that contract so future performance work cannot silently
+change numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.acquisition.functions import WeightedAcquisition, pbo_weights
+from repro.bo.batch import BatchBO
+from repro.bo.propose import propose_batch
+from repro.gp import GaussianProcess
+from repro.gp.evaluator import MarginalLikelihoodEvaluator
+from repro.kernels import (
+    Matern32,
+    Matern52,
+    RationalQuadratic,
+    SquaredExponential,
+)
+
+
+def _dataset(n, d, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1.0, 1.0, (n, d))
+    y = np.sin(X.sum(axis=1)) + 0.1 * rng.standard_normal(n)
+    return X, y
+
+
+class TestIncrementalCholeskyEquivalence:
+    """``add_data`` rank-k updates must match a from-scratch refit."""
+
+    @pytest.mark.parametrize("batch", [1, 3, 7])
+    def test_matches_full_refit(self, batch):
+        X, y = _dataset(40, 4, seed=1)
+        n0 = 40 - 2 * batch
+
+        inc = GaussianProcess(Matern52(dim=4, ard=True), noise_variance=1e-4)
+        inc.add_data(X[:n0], y[:n0])
+        inc.add_data(X[n0 : n0 + batch], y[n0 : n0 + batch])
+        inc.add_data(X[n0 + batch :], y[n0 + batch :])
+
+        full = GaussianProcess(Matern52(dim=4, ard=True), noise_variance=1e-4)
+        full.fit(X, y)
+
+        Z = _dataset(16, 4, seed=9)[0]
+        p_inc, p_full = inc.predict(Z), full.predict(Z)
+        np.testing.assert_allclose(p_inc.mean, p_full.mean, atol=1e-8)
+        np.testing.assert_allclose(p_inc.variance, p_full.variance, atol=1e-8)
+        assert inc.log_marginal_likelihood() == pytest.approx(
+            full.log_marginal_likelihood(), abs=1e-8
+        )
+
+    def test_many_small_appends(self):
+        X, y = _dataset(36, 3, seed=2)
+        inc = GaussianProcess(SquaredExponential(dim=3), noise_variance=1e-4)
+        inc.add_data(X[:12], y[:12])
+        for i in range(12, 36, 2):
+            inc.add_data(X[i : i + 2], y[i : i + 2])
+        full = GaussianProcess(SquaredExponential(dim=3), noise_variance=1e-4)
+        full.fit(X, y)
+        Z = _dataset(10, 3, seed=11)[0]
+        np.testing.assert_allclose(
+            inc.predict(Z).mean, full.predict(Z).mean, atol=1e-8
+        )
+        np.testing.assert_allclose(
+            inc.predict(Z).variance, full.predict(Z).variance, atol=1e-8
+        )
+
+    def test_append_after_theta_change_still_exact(self):
+        """Hyperparameter moves force the full-refit fallback, exactly."""
+        X, y = _dataset(30, 3, seed=3)
+        inc = GaussianProcess(Matern32(dim=3), noise_variance=1e-4)
+        inc.add_data(X[:20], y[:20])
+        theta = inc.theta
+        theta[:-1] += 0.3  # perturb kernel params between appends
+        inc.theta = theta
+        inc.add_data(X[20:], y[20:])
+
+        full = GaussianProcess(Matern32(dim=3), noise_variance=1e-4)
+        full.fit(X[:1], y[:1])  # any data; theta setter refits
+        full.theta = theta
+        full.fit(X, y)
+        Z = _dataset(8, 3, seed=13)[0]
+        np.testing.assert_allclose(
+            inc.predict(Z).mean, full.predict(Z).mean, atol=1e-8
+        )
+
+
+class TestFusedEvaluatorEquivalence:
+    """One-pass (lml, grad) must equal the two-call model path."""
+
+    KERNELS = {
+        "matern52-ard": lambda: Matern52(dim=4, ard=True),
+        "se-iso": lambda: SquaredExponential(dim=4),
+        "rq-ard": lambda: RationalQuadratic(dim=4, ard=True),
+    }
+
+    @pytest.mark.parametrize("kernel_name", sorted(KERNELS))
+    def test_matches_model_two_call_path(self, kernel_name):
+        X, y = _dataset(35, 4, seed=4)
+        gp = GaussianProcess(
+            self.KERNELS[kernel_name](), noise_variance=1e-3, train_noise=True
+        ).fit(X, y)
+        evaluator = MarginalLikelihoodEvaluator(gp)
+        bounds = gp.theta_bounds()
+        rng = np.random.default_rng(7)
+        reference = GaussianProcess(
+            self.KERNELS[kernel_name](), noise_variance=1e-3, train_noise=True
+        ).fit(X, y)
+        for _ in range(5):
+            theta = rng.uniform(
+                np.maximum(bounds[:, 0], -3.0), np.minimum(bounds[:, 1], 3.0)
+            )
+            lml, grad = evaluator.evaluate(theta)
+            reference.theta = theta
+            assert lml == pytest.approx(
+                reference.log_marginal_likelihood(), abs=1e-8
+            )
+            np.testing.assert_allclose(
+                grad,
+                reference.log_marginal_likelihood_gradient(),
+                atol=1e-8,
+                rtol=1e-8,
+            )
+
+    def test_does_not_mutate_source_gp(self):
+        X, y = _dataset(25, 3, seed=5)
+        gp = GaussianProcess(Matern52(dim=3), noise_variance=1e-3).fit(X, y)
+        theta_before = gp.theta.copy()
+        lml_before = gp.log_marginal_likelihood()
+        evaluator = MarginalLikelihoodEvaluator(gp)
+        evaluator.evaluate(theta_before + 0.5)
+        np.testing.assert_array_equal(gp.theta, theta_before)
+        assert gp.log_marginal_likelihood() == lml_before
+
+    def test_repeated_evaluations_are_stable(self):
+        """Workspace buffer reuse must not leak state across thetas."""
+        X, y = _dataset(30, 4, seed=6)
+        gp = GaussianProcess(
+            Matern52(dim=4, ard=True), noise_variance=1e-3
+        ).fit(X, y)
+        evaluator = MarginalLikelihoodEvaluator(gp)
+        theta_a = gp.theta
+        theta_b = theta_a + 0.4
+        first = evaluator.evaluate(theta_a)
+        evaluator.evaluate(theta_b)  # dirty every cached buffer
+        again = evaluator.evaluate(theta_a)
+        assert again[0] == pytest.approx(first[0], abs=1e-12)
+        np.testing.assert_allclose(again[1], first[1], atol=1e-12)
+
+
+class TestBatchedAcquisitionEquivalence:
+    """Vectorized acquisition scoring must match point-at-a-time calls."""
+
+    def test_evaluate_matches_scalar_calls(self):
+        X, y = _dataset(30, 5, seed=8)
+        gp = GaussianProcess(Matern52(dim=5), noise_variance=1e-4).fit(X, y)
+        acq = WeightedAcquisition(gp, weight=0.3)
+        Z = _dataset(20, 5, seed=15)[0]
+        batched = acq.evaluate(Z)
+        pointwise = np.array([float(acq(z)) for z in Z])
+        np.testing.assert_allclose(batched, pointwise, atol=1e-12)
+
+
+class TestParallelEquivalence:
+    """``n_jobs > 1`` must reproduce the sequential results exactly."""
+
+    def _proposal_setup(self):
+        X, y = _dataset(25, 3, seed=10)
+        gp = GaussianProcess(
+            Matern52(dim=3, lengthscale=1.5), noise_variance=1e-4
+        ).fit(X, y)
+        box = np.column_stack([-np.ones(3), np.ones(3)])
+        return gp, pbo_weights(3), box
+
+    def test_propose_batch_parallel_identical(self):
+        gp, weights, box = self._proposal_setup()
+        seq = propose_batch(gp, weights, box, n_jobs=1)
+        par = propose_batch(gp, weights, box, n_jobs=2)
+        np.testing.assert_array_equal(seq.X, par.X)
+        assert seq.n_evaluations == par.n_evaluations
+
+    def test_batch_bo_parallel_identical_y(self):
+        def objective(x):
+            return float(np.sum(np.asarray(x) ** 2) - 1.0)
+
+        box = np.column_stack([-np.ones(2), np.ones(2)])
+        runs = []
+        for n_jobs in (1, 2):
+            engine = BatchBO(
+                batch_size=2, n_restarts=1, seed=42, n_jobs=n_jobs
+            )
+            runs.append(
+                engine.run(objective, box, n_init=4, n_batches=2)
+            )
+        np.testing.assert_array_equal(runs[0].X, runs[1].X)
+        np.testing.assert_array_equal(runs[0].y, runs[1].y)
