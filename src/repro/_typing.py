@@ -1,0 +1,25 @@
+"""Shared type aliases for array-accepting public APIs.
+
+The library's contract is float64 in, float64 out: public entry points
+accept anything :func:`numpy.asarray` can coerce (``ArrayLike``) and the
+validation helpers normalize it to ``FloatArray`` before any numerics run.
+Annotating with these aliases keeps the strict-mypy gate on ``repro.gp``,
+``repro.kernels`` and ``repro.embedding`` honest without sprinkling raw
+``npt.NDArray[np.float64]`` spellings everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import numpy.typing as npt
+
+#: Normalized float64 array (what validation helpers return).
+FloatArray = npt.NDArray[np.float64]
+
+#: Anything coercible to an array at a public boundary.
+ArrayLike = npt.ArrayLike
+
+#: Integer index arrays (candidate dimensions, sort orders).
+IntArray = npt.NDArray[np.int_]
+
+__all__ = ["FloatArray", "ArrayLike", "IntArray"]

@@ -119,5 +119,5 @@ def pbo_weights(batch_size: int) -> np.ndarray:
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
     if batch_size == 1:
-        return np.array([0.5])
+        return np.array([0.5], dtype=float)
     return np.linspace(0.0, 1.0, batch_size)

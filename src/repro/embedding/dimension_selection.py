@@ -16,6 +16,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro._typing import ArrayLike, FloatArray, IntArray
 from repro.embedding.random_embedding import RandomEmbedding
 from repro.gp.hyperopt import fit_hyperparameters
 from repro.gp.model import GaussianProcess
@@ -53,13 +54,13 @@ class DimensionSelectionResult:
     """
 
     selected_dim: int
-    dims: np.ndarray
-    mse: np.ndarray
-    normalized_mse: np.ndarray
+    dims: IntArray
+    mse: FloatArray
+    normalized_mse: FloatArray
     n_trials: int
 
 
-def _normalize(mse: np.ndarray) -> np.ndarray:
+def _normalize(mse: FloatArray) -> FloatArray:
     lo, hi = float(np.min(mse)), float(np.max(mse))
     if hi - lo < 1e-300:
         return np.zeros_like(mse)
@@ -67,7 +68,7 @@ def _normalize(mse: np.ndarray) -> np.ndarray:
 
 
 def pick_flat_dimension(
-    dims: Sequence[int], mse: np.ndarray, tolerance: float = 0.1
+    dims: Sequence[int], mse: ArrayLike, tolerance: float = 0.1
 ) -> int:
     """Pick the smallest ``d`` where the MSE has stopped decreasing.
 
@@ -81,23 +82,23 @@ def pick_flat_dimension(
     """
     if not 0 <= tolerance < 1:
         raise ValueError(f"tolerance must lie in [0, 1), got {tolerance}")
-    dims = np.asarray(list(dims), dtype=int)
-    mse = np.asarray(mse, dtype=float)
-    if dims.shape != mse.shape:
+    dims_arr = np.asarray(list(dims), dtype=int)
+    mse_arr = np.asarray(mse, dtype=float)
+    if dims_arr.shape != mse_arr.shape:
         raise ValueError("dims and mse must have matching lengths")
-    if dims.size == 0:
+    if dims_arr.size == 0:
         raise ValueError("no candidate dimensions given")
-    norm = _normalize(mse)
+    norm = _normalize(mse_arr)
     floor = float(np.min(norm))
-    for d, value in zip(dims, norm):
+    for d, value in zip(dims_arr, norm):
         if value <= floor + tolerance:
             return int(d)
-    return int(dims[-1])  # pragma: no cover - loop always hits the minimum
+    return int(dims_arr[-1])  # pragma: no cover - loop always hits the minimum
 
 
 def select_embedding_dimension(
-    X,
-    y,
+    X: ArrayLike,
+    y: ArrayLike,
     dims: Sequence[int] | None = None,
     n_trials: int = 5,
     gp_factory: Callable[[int], GaussianProcess] | None = None,
@@ -129,9 +130,9 @@ def select_embedding_dimension(
         Fit GP hyperparameters per trial (recommended; Algorithm 2's models
         are meaningless with arbitrary fixed lengthscales).
     """
-    X = as_matrix(X)
-    y = as_vector(y, X.shape[0])
-    D = X.shape[1]
+    X_arr = as_matrix(X)
+    y_arr = as_vector(y, X_arr.shape[0])
+    D = X_arr.shape[1]
     if dims is None:
         dims = list(range(1, D + 1))
     dims = [int(d) for d in dims]
@@ -146,7 +147,7 @@ def select_embedding_dimension(
 
     rng = as_generator(seed)
     standardizer = Standardizer()
-    y_std = standardizer.fit_transform(y)
+    y_std = standardizer.fit_transform(y_arr)
 
     mse_per_dim = np.empty(len(dims))
     for j, d in enumerate(dims):
@@ -154,7 +155,7 @@ def select_embedding_dimension(
         trial_mse = np.empty(n_trials)
         for i, trial_rng in enumerate(trial_rngs):
             embedding = RandomEmbedding(D, d, seed=trial_rng)
-            Z = embedding.to_embedded(X)
+            Z = embedding.to_embedded(X_arr)
             gp = gp_factory(d)
             gp.fit(Z, y_std)
             if tune_hyperparameters:

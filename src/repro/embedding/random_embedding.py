@@ -14,14 +14,18 @@ the dimension-selection procedure is the pseudo-inverse ``z = A† x``
 from __future__ import annotations
 
 import numpy as np
+from scipy.linalg import solve_triangular
 
+from repro._typing import ArrayLike, FloatArray
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import as_matrix, check_bounds, unit_cube_bounds
 
 
-def clip_to_box(X: np.ndarray, lower: np.ndarray, upper: np.ndarray) -> np.ndarray:
+def clip_to_box(
+    X: ArrayLike, lower: ArrayLike, upper: ArrayLike
+) -> FloatArray:
     """The projection ``p_Ω``: coordinate-wise clipping onto a box."""
-    return np.clip(X, lower, upper)
+    return np.clip(np.asarray(X, dtype=float), lower, upper)
 
 
 class RandomEmbedding:
@@ -44,7 +48,7 @@ class RandomEmbedding:
         self,
         original_dim: int,
         embedded_dim: int,
-        bounds=None,
+        bounds: ArrayLike | None = None,
         seed: SeedLike = None,
     ) -> None:
         if original_dim < 1:
@@ -59,24 +63,35 @@ class RandomEmbedding:
             bounds = unit_cube_bounds(self.original_dim)
         self.lower, self.upper = check_bounds(bounds, self.original_dim)
         rng = as_generator(seed)
-        self.matrix = rng.standard_normal((self.original_dim, self.embedded_dim))
-        self._pinv: np.ndarray | None = None
+        self.matrix: FloatArray = rng.standard_normal(
+            (self.original_dim, self.embedded_dim)
+        )
+        self._pinv: FloatArray | None = None
 
     @property
-    def pinv(self) -> np.ndarray:
-        """The Moore-Penrose pseudo-inverse ``A† = (AᵀA)⁻¹Aᵀ`` (Eq. 12)."""
+    def pinv(self) -> FloatArray:
+        """The Moore-Penrose pseudo-inverse ``A†`` of Eq. 12, via QR.
+
+        A Gaussian ``A`` has full column rank with probability 1, so
+        ``A = QR`` gives ``A† = R⁻¹Qᵀ``.  The textbook normal-equation form
+        ``(AᵀA)⁻¹Aᵀ`` squares the condition number of ``A`` and loses half
+        the significant digits exactly when an embedding draw comes out
+        nearly rank-deficient — the regime where the dimension-selection
+        procedure needs the reverse map most.
+        """
         if self._pinv is None:
             A = self.matrix
-            self._pinv = np.linalg.solve(A.T @ A, A.T)
+            Q, R = np.linalg.qr(A)
+            self._pinv = solve_triangular(R, Q.T, lower=False, check_finite=False)
         return self._pinv
 
-    def z_bounds(self) -> np.ndarray:
+    def z_bounds(self) -> FloatArray:
         """The embedded search box ``[-√d, √d]^d`` of Section 4.2."""
         half = np.sqrt(self.embedded_dim)
         d = self.embedded_dim
         return np.column_stack([-half * np.ones(d), half * np.ones(d)])
 
-    def to_original(self, Z) -> np.ndarray:
+    def to_original(self, Z: ArrayLike) -> FloatArray:
         """Map embedded points to the variation space: ``x = p_Ω(A z)``.
 
         Accepts a single ``(d,)`` vector or a ``(n, d)`` batch and returns
@@ -88,7 +103,7 @@ class RandomEmbedding:
         X = clip_to_box(Z_mat @ self.matrix.T, self.lower, self.upper)
         return X[0] if single else X
 
-    def to_original_unclipped(self, Z) -> np.ndarray:
+    def to_original_unclipped(self, Z: ArrayLike) -> FloatArray:
         """``A z`` without the projection, for diagnostics and ablations."""
         Z_arr = np.asarray(Z, dtype=float)
         single = Z_arr.ndim == 1
@@ -96,7 +111,7 @@ class RandomEmbedding:
         X = Z_mat @ self.matrix.T
         return X[0] if single else X
 
-    def to_embedded(self, X) -> np.ndarray:
+    def to_embedded(self, X: ArrayLike) -> FloatArray:
         """Map original-space points down via the pseudo-inverse (Eq. 12)."""
         X_arr = np.asarray(X, dtype=float)
         single = X_arr.ndim == 1

@@ -48,7 +48,7 @@ class MarginalLikelihoodEvaluator:
         self.noise_variance = gp.noise_variance
         self.residual = gp.y_train - gp.mean(gp.X_train)
         self.ws = self.kernel.make_workspace(gp.X_train)
-        self._residual_col = np.asfortranarray(self.residual[:, None])
+        self._residual_col = np.asfortranarray(self.residual[:, None], dtype=float)
         self._inner: np.ndarray | None = None
 
     def evaluate(self, theta: np.ndarray) -> tuple[float, np.ndarray]:
@@ -108,4 +108,4 @@ class MarginalLikelihoodEvaluator:
         if self.train_noise:
             trace = float(np.einsum("ii->", inner))
             grads = np.concatenate([grads, [0.5 * noise * trace]])
-        return lml, np.asarray(grads)
+        return lml, np.asarray(grads, dtype=float)

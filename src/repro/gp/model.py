@@ -13,10 +13,12 @@ Cholesky factorization of ``K + sigma0^2 I``:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 from scipy.linalg import cho_solve, cholesky, solve_triangular
 
+from repro._typing import ArrayLike, FloatArray
 from repro.gp.mean import MeanFunction, ZeroMean
 from repro.kernels.base import Kernel, KernelWorkspace
 from repro.utils.validation import as_matrix, as_vector
@@ -82,11 +84,11 @@ def inv_from_cholesky(chol: np.ndarray) -> np.ndarray:
 class GPPrediction:
     """Posterior prediction at a batch of test points."""
 
-    mean: np.ndarray
-    variance: np.ndarray
+    mean: FloatArray
+    variance: FloatArray
 
     @property
-    def std(self) -> np.ndarray:
+    def std(self) -> FloatArray:
         return np.sqrt(np.maximum(self.variance, 0.0))
 
 
@@ -130,7 +132,7 @@ class GaussianProcess:
         self._K_inv: np.ndarray | None = None
         self._theta_fitted: np.ndarray | None = None
 
-    def __getstate__(self) -> dict:
+    def __getstate__(self) -> dict[str, Any]:
         # the workspace caches O(n^2 dim) tensors rebuilt lazily on demand;
         # dropping them keeps pickles (process-pool payloads) small
         state = self.__dict__.copy()
@@ -141,6 +143,7 @@ class GaussianProcess:
     @property
     def _workspace(self) -> KernelWorkspace:
         if self._ws is None:
+            assert self._X is not None, "GP has not been fitted"
             self._ws = self.kernel.make_workspace(self._X)
         return self._ws
 
@@ -172,7 +175,7 @@ class GaussianProcess:
     def theta_bounds(self) -> np.ndarray:
         bounds = self.kernel.theta_bounds()
         if self.train_noise:
-            noise_bounds = np.array([[np.log(1e-10), np.log(1e2)]])
+            noise_bounds = np.array([[np.log(1e-10), np.log(1e2)]], dtype=float)
             bounds = np.vstack([bounds, noise_bounds])
         return bounds
 
@@ -187,28 +190,27 @@ class GaussianProcess:
         return 0 if self._X is None else self._X.shape[0]
 
     @property
-    def X_train(self) -> np.ndarray:
+    def X_train(self) -> FloatArray:
         if self._X is None:
             raise RuntimeError("GP has not been fitted")
         return self._X
 
     @property
-    def y_train(self) -> np.ndarray:
+    def y_train(self) -> FloatArray:
         if self._y is None:
             raise RuntimeError("GP has not been fitted")
         return self._y
 
-    def fit(self, X, y) -> "GaussianProcess":
+    def fit(self, X: ArrayLike, y: ArrayLike) -> "GaussianProcess":
         """Condition the GP on training data ``(X, y)``."""
-        X = as_matrix(X)
-        y = as_vector(y, X.shape[0])
-        self._X = X
-        self._y = y
+        X_arr = as_matrix(X)
+        self._X = X_arr
+        self._y = as_vector(y, X_arr.shape[0])
         self._ws = None
         self._refit()
         return self
 
-    def add_data(self, X, y) -> "GaussianProcess":
+    def add_data(self, X: ArrayLike, y: ArrayLike) -> "GaussianProcess":
         """Append observations and re-condition (sequential BO update).
 
         When the hyperparameters are unchanged since the last factorization,
@@ -217,26 +219,28 @@ class GaussianProcess:
         full refit is the fallback whenever the update is numerically
         infeasible or the hyperparameters moved.
         """
-        X = as_matrix(X)
-        y = as_vector(y, X.shape[0])
+        X_arr = as_matrix(X)
+        y_arr = as_vector(y, X_arr.shape[0])
         if self._X is None:
-            return self.fit(X, y)
-        if X.shape[1] != self._X.shape[1]:
+            return self.fit(X_arr, y_arr)
+        if X_arr.shape[1] != self._X.shape[1]:
             raise ValueError(
-                f"new points have dim {X.shape[1]}, model has {self._X.shape[1]}"
+                f"new points have dim {X_arr.shape[1]}, "
+                f"model has {self._X.shape[1]}"
             )
-        y_all = np.concatenate([self._y, y])
-        if self._try_append_points(X):
+        assert self._y is not None
+        y_all = np.concatenate([self._y, y_arr])
+        if self._try_append_points(X_arr):
             self._y = y_all
             self._refresh_alpha()
             return self
-        self._X = np.vstack([self._X, X])
+        self._X = np.vstack([self._X, X_arr])
         self._y = y_all
         self._ws = None
         self._refit()
         return self
 
-    def set_labels(self, y) -> "GaussianProcess":
+    def set_labels(self, y: ArrayLike) -> "GaussianProcess":
         """Replace the training labels, keeping inputs and factorization.
 
         Only the residual solve is redone (O(n^2)); used when labels are
@@ -276,6 +280,7 @@ class GaussianProcess:
         return True
 
     def _refresh_alpha(self) -> None:
+        assert self._X is not None and self._y is not None
         residual = self._y - self.mean(self._X)
         self._alpha = cho_solve((self._chol, True), residual, check_finite=False)
         self._K_inv = None
@@ -292,29 +297,33 @@ class GaussianProcess:
 
     # -- prediction -------------------------------------------------------------
 
-    def predict(self, X) -> GPPrediction:
+    def predict(self, X: ArrayLike) -> GPPrediction:
         """Posterior mean and variance at test points (Eqs. 5-7)."""
         if not self.is_fitted:
             raise RuntimeError("GP has not been fitted")
-        X = as_matrix(X, self._X.shape[1])
-        k_star = self.kernel.cross(self._workspace, X)  # (n_train, n_test)
-        mean = self.mean(X) + k_star.T @ self._alpha
+        assert self._X is not None
+        X_arr = as_matrix(X, self._X.shape[1])
+        k_star = self.kernel.cross(self._workspace, X_arr)  # (n_train, n_test)
+        mean = self.mean(X_arr) + k_star.T @ self._alpha
         v = solve_triangular(self._chol, k_star, lower=True, check_finite=False)
-        variance = self.kernel.diag(X) - np.sum(v**2, axis=0)
+        variance = self.kernel.diag(X_arr) - np.sum(v**2, axis=0)
         return GPPrediction(mean=mean, variance=np.maximum(variance, 0.0))
 
-    def predict_cov(self, X) -> tuple[np.ndarray, np.ndarray]:
+    def predict_cov(self, X: ArrayLike) -> tuple[FloatArray, FloatArray]:
         """Posterior mean and full covariance matrix at test points."""
         if not self.is_fitted:
             raise RuntimeError("GP has not been fitted")
-        X = as_matrix(X, self._X.shape[1])
-        k_star = self.kernel.cross(self._workspace, X)
-        mean = self.mean(X) + k_star.T @ self._alpha
+        assert self._X is not None
+        X_arr = as_matrix(X, self._X.shape[1])
+        k_star = self.kernel.cross(self._workspace, X_arr)
+        mean = self.mean(X_arr) + k_star.T @ self._alpha
         v = solve_triangular(self._chol, k_star, lower=True, check_finite=False)
-        cov = self.kernel(X) - v.T @ v
+        cov = self.kernel(X_arr) - v.T @ v
         return mean, cov
 
-    def sample_posterior(self, X, n_samples: int, rng) -> np.ndarray:
+    def sample_posterior(
+        self, X: ArrayLike, n_samples: int, rng: np.random.Generator
+    ) -> FloatArray:
         """Draw joint posterior samples; returns shape ``(n_samples, n_test)``."""
         mean, cov = self.predict_cov(X)
         cov = cov + 1e-10 * np.eye(cov.shape[0])
@@ -326,6 +335,7 @@ class GaussianProcess:
         """Eq. 8 evaluated at the current hyperparameters."""
         if not self.is_fitted:
             raise RuntimeError("GP has not been fitted")
+        assert self._X is not None and self._y is not None
         residual = self._y - self.mean(self._X)
         n = residual.shape[0]
         log_det = 2.0 * np.sum(np.log(np.diag(self._chol)))
@@ -335,7 +345,7 @@ class GaussianProcess:
             - 0.5 * n * np.log(2.0 * np.pi)
         )
 
-    def log_marginal_likelihood_gradient(self) -> np.ndarray:
+    def log_marginal_likelihood_gradient(self) -> FloatArray:
         """Analytic gradient of Eq. 8 with respect to :attr:`theta`.
 
         Uses the standard identity
@@ -346,6 +356,7 @@ class GaussianProcess:
         """
         if not self.is_fitted:
             raise RuntimeError("GP has not been fitted")
+        assert self._X is not None
         n = self._X.shape[0]
         K_inv = cho_solve((self._chol, True), np.eye(n))
         outer = np.outer(self._alpha, self._alpha)
@@ -356,17 +367,18 @@ class GaussianProcess:
         if self.train_noise:
             # d(K + σ² I)/d(log σ²) = σ² I
             grads.append(0.5 * self.noise_variance * np.trace(inner))
-        return np.asarray(grads)
+        return np.asarray(grads, dtype=float)
 
-    def _posterior_precision(self) -> np.ndarray:
+    def _posterior_precision(self) -> FloatArray:
         """``(K + σ² I)^{-1}``, cached until the factorization changes."""
         if self._K_inv is None:
+            assert self._chol is not None, "GP has not been fitted"
             self._K_inv = inv_from_cholesky(self._chol)
         return self._K_inv
 
     def log_marginal_likelihood_value_and_gradient(
         self,
-    ) -> tuple[float, np.ndarray]:
+    ) -> tuple[float, FloatArray]:
         """Eq. 8 and its θ-gradient sharing one Cholesky and one ``K⁻¹``.
 
         The gradient contraction is delegated to
@@ -384,7 +396,7 @@ class GaussianProcess:
         if self.train_noise:
             noise_grad = 0.5 * self.noise_variance * np.trace(inner)
             grads = np.concatenate([grads, [noise_grad]])
-        return value, np.asarray(grads)
+        return value, np.asarray(grads, dtype=float)
 
     # -- diagnostics -----------------------------------------------------------
 
@@ -395,10 +407,11 @@ class GaussianProcess:
         with observation noise the GP does not interpolate, so the training
         MSE measures how much signal survives a given embedding.
         """
+        assert self._X is not None and self._y is not None
         pred = self.predict(self._X)
         return float(np.mean((pred.mean - self._y) ** 2))
 
-    def loo_residuals(self) -> np.ndarray:
+    def loo_residuals(self) -> FloatArray:
         """Leave-one-out residuals via the Sundararajan-Keerthi identity.
 
         ``r_i = α_i / (K⁻¹)_{ii}`` gives the LOO prediction error without
@@ -406,6 +419,7 @@ class GaussianProcess:
         """
         if not self.is_fitted:
             raise RuntimeError("GP has not been fitted")
+        assert self._alpha is not None
         diag = np.diag(self._posterior_precision())
         return self._alpha / np.maximum(diag, 1e-300)
 

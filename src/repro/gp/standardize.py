@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._typing import ArrayLike, FloatArray
 from repro.utils.validation import as_vector
 
 
@@ -27,40 +28,41 @@ class Standardizer:
     def is_fitted(self) -> bool:
         return self.mean_ is not None
 
-    def fit(self, y) -> "Standardizer":
-        y = as_vector(y)
-        if y.shape[0] == 0:
+    def fit(self, y: ArrayLike) -> "Standardizer":
+        y_arr = as_vector(y)
+        if y_arr.shape[0] == 0:
             raise ValueError("cannot fit a standardizer on an empty label set")
-        self.mean_ = float(np.mean(y))
-        scale = float(np.std(y))
+        self.mean_ = float(np.mean(y_arr))
+        scale = float(np.std(y_arr))
         self.scale_ = scale if scale > 1e-12 else 1.0
         return self
 
-    def transform(self, y) -> np.ndarray:
-        self._require_fitted()
-        return (as_vector(y) - self.mean_) / self.scale_
+    def transform(self, y: ArrayLike) -> FloatArray:
+        mean, scale = self._require_fitted()
+        return (as_vector(y) - mean) / scale
 
-    def fit_transform(self, y) -> np.ndarray:
+    def fit_transform(self, y: ArrayLike) -> FloatArray:
         return self.fit(y).transform(y)
 
-    def inverse_transform(self, y) -> np.ndarray:
-        self._require_fitted()
-        return as_vector(y) * self.scale_ + self.mean_
+    def inverse_transform(self, y: ArrayLike) -> FloatArray:
+        mean, scale = self._require_fitted()
+        return as_vector(y) * scale + mean
 
     def transform_scalar(self, value: float) -> float:
         """Map a single threshold (e.g. the spec target ``T``)."""
-        self._require_fitted()
-        return (float(value) - self.mean_) / self.scale_
+        mean, scale = self._require_fitted()
+        return (float(value) - mean) / scale
 
     def inverse_transform_scalar(self, value: float) -> float:
-        self._require_fitted()
-        return float(value) * self.scale_ + self.mean_
+        mean, scale = self._require_fitted()
+        return float(value) * scale + mean
 
-    def scale_variance(self, variance) -> np.ndarray:
+    def scale_variance(self, variance: ArrayLike) -> FloatArray:
         """Map a posterior variance back to the original label units."""
-        self._require_fitted()
-        return np.asarray(variance, dtype=float) * self.scale_**2
+        _, scale = self._require_fitted()
+        return np.asarray(variance, dtype=float) * scale**2
 
-    def _require_fitted(self) -> None:
-        if not self.is_fitted:
+    def _require_fitted(self) -> tuple[float, float]:
+        if self.mean_ is None or self.scale_ is None:
             raise RuntimeError("standardizer has not been fitted")
+        return self.mean_, self.scale_

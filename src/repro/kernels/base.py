@@ -16,9 +16,12 @@ rescaled per evaluation instead of being rebuilt from ``X``.
 from __future__ import annotations
 
 import abc
+import copy
+from typing import Any
 
 import numpy as np
 
+from repro._typing import ArrayLike, FloatArray
 from repro.utils.validation import as_matrix
 
 
@@ -35,9 +38,9 @@ class KernelWorkspace:
 
     __slots__ = ("X", "cache")
 
-    def __init__(self, X: np.ndarray) -> None:
-        self.X = as_matrix(X)
-        self.cache: dict = {}
+    def __init__(self, X: ArrayLike) -> None:
+        self.X: FloatArray = as_matrix(X)
+        self.cache: dict[str, Any] = {}
 
     @property
     def n(self) -> int:
@@ -53,12 +56,12 @@ class Kernel(abc.ABC):
 
     @property
     @abc.abstractmethod
-    def theta(self) -> np.ndarray:
+    def theta(self) -> FloatArray:
         """The unconstrained (log-space) hyperparameter vector."""
 
     @theta.setter
     @abc.abstractmethod
-    def theta(self, value: np.ndarray) -> None: ...
+    def theta(self, value: ArrayLike) -> None: ...
 
     @property
     def n_params(self) -> int:
@@ -66,25 +69,25 @@ class Kernel(abc.ABC):
         return self.theta.shape[0]
 
     @abc.abstractmethod
-    def __call__(self, X: np.ndarray, Z: np.ndarray | None = None) -> np.ndarray:
+    def __call__(
+        self, X: ArrayLike, Z: ArrayLike | None = None
+    ) -> FloatArray:
         """Return the Gram matrix ``K[i, j] = k(X[i], Z[j])`` (``Z=X`` if None)."""
 
     @abc.abstractmethod
-    def diag(self, X: np.ndarray) -> np.ndarray:
+    def diag(self, X: ArrayLike) -> FloatArray:
         """Return ``k(x_i, x_i)`` for each row, cheaper than ``diag(K(X, X))``."""
 
     @abc.abstractmethod
-    def gradients(self, X: np.ndarray) -> list[np.ndarray]:
+    def gradients(self, X: ArrayLike) -> list[FloatArray]:
         """Return ``[dK/dtheta_0, ...]`` evaluated at the training inputs."""
 
     @abc.abstractmethod
-    def theta_bounds(self) -> np.ndarray:
+    def theta_bounds(self) -> FloatArray:
         """Return ``(n_params, 2)`` log-space box bounds for optimization."""
 
     def clone(self) -> "Kernel":
         """Return an independent copy (same hyperparameter values)."""
-        import copy
-
         return copy.deepcopy(self)
 
     # -- per-dataset workspaces --------------------------------------------
@@ -93,34 +96,34 @@ class Kernel(abc.ABC):
     # kernel (composites included) works with workspace-driven callers; the
     # stationary family overrides them with cached-tensor fast paths.
 
-    def make_workspace(self, X: np.ndarray) -> KernelWorkspace:
+    def make_workspace(self, X: ArrayLike) -> KernelWorkspace:
         """Build a reusable evaluation workspace for the inputs ``X``."""
         return KernelWorkspace(X)
 
     def extend_workspace(
-        self, ws: KernelWorkspace, X_new: np.ndarray
+        self, ws: KernelWorkspace, X_new: ArrayLike
     ) -> KernelWorkspace:
         """Return a workspace for ``[ws.X; X_new]``, reusing cached blocks."""
         return self.make_workspace(np.vstack([ws.X, as_matrix(X_new)]))
 
-    def gram(self, ws: KernelWorkspace) -> np.ndarray:
+    def gram(self, ws: KernelWorkspace) -> FloatArray:
         """Training Gram matrix at the current hyperparameters.
 
         Always returns a freshly allocated matrix the caller may mutate.
         """
         return self(ws.X)
 
-    def gradients_ws(self, ws: KernelWorkspace) -> list[np.ndarray]:
+    def gradients_ws(self, ws: KernelWorkspace) -> list[FloatArray]:
         """``[dK/dtheta_j, ...]`` over the workspace inputs."""
         return self.gradients(ws.X)
 
-    def cross(self, ws: KernelWorkspace, Z: np.ndarray) -> np.ndarray:
+    def cross(self, ws: KernelWorkspace, Z: ArrayLike) -> FloatArray:
         """Cross Gram matrix ``k(ws.X, Z)`` (the prediction hot path)."""
         return self(ws.X, Z)
 
     def gradient_inner_products(
-        self, ws: KernelWorkspace, inner: np.ndarray
-    ) -> np.ndarray:
+        self, ws: KernelWorkspace, inner: FloatArray
+    ) -> FloatArray:
         """``0.5 * sum(inner * dK/dtheta_j)`` for each hyperparameter.
 
         This is the contraction the marginal-likelihood gradient needs
@@ -128,7 +131,8 @@ class Kernel(abc.ABC):
         subclasses avoid materializing each ``dK/dtheta_j``.
         """
         return np.array(
-            [0.5 * np.sum(inner * dK) for dK in self.gradients_ws(ws)]
+            [0.5 * np.sum(inner * dK) for dK in self.gradients_ws(ws)],
+            dtype=float,
         )
 
     # -- operator sugar ----------------------------------------------------
@@ -145,18 +149,16 @@ class Kernel(abc.ABC):
 
 
 def pairwise_sq_dists(
-    X: np.ndarray, Z: np.ndarray, lengthscales: np.ndarray
-) -> np.ndarray:
+    X: ArrayLike, Z: ArrayLike, lengthscales: FloatArray
+) -> FloatArray:
     """Squared Euclidean distances between scaled rows of ``X`` and ``Z``.
 
     ``lengthscales`` may be a scalar array of shape ``(1,)`` (isotropic) or
     per-dimension of shape ``(dim,)`` (ARD).  Distances are clipped at zero
     to guard against negative round-off.
     """
-    X = as_matrix(X)
-    Z = as_matrix(Z)
-    Xs = X / lengthscales
-    Zs = Z / lengthscales
+    Xs = as_matrix(X) / lengthscales
+    Zs = as_matrix(Z) / lengthscales
     sq = Xs @ Zs.T
     sq *= -2.0
     sq += np.einsum("ij,ij->i", Xs, Xs)[:, None]

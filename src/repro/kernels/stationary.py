@@ -450,7 +450,7 @@ class RationalQuadratic(StationaryKernel):
 
     def theta_bounds(self) -> np.ndarray:
         base = super().theta_bounds()
-        alpha_bounds = np.array([[np.log(1e-2), np.log(1e2)]])
+        alpha_bounds = np.array([[np.log(1e-2), np.log(1e2)]], dtype=float)
         return np.vstack([base, alpha_bounds])
 
     def _g(self, sq: np.ndarray) -> np.ndarray:
@@ -492,7 +492,7 @@ class WhiteNoise(Kernel):
 
     @property
     def theta(self) -> np.ndarray:
-        return np.array([np.log(self.variance)])
+        return np.array([np.log(self.variance)], dtype=float)
 
     @theta.setter
     def theta(self, value: np.ndarray) -> None:
@@ -502,7 +502,7 @@ class WhiteNoise(Kernel):
         self.variance = float(np.exp(value[0]))
 
     def theta_bounds(self) -> np.ndarray:
-        return np.array([[np.log(1e-9), np.log(1e3)]])
+        return np.array([[np.log(1e-9), np.log(1e3)]], dtype=float)
 
     def __call__(self, X: np.ndarray, Z: np.ndarray | None = None) -> np.ndarray:
         X = as_matrix(X)

@@ -87,7 +87,7 @@ class CountingObjective:
         if batch is not None:
             values = np.asarray(batch(X), dtype=float)
         else:
-            values = np.array([float(self._fun(x)) for x in X])
+            values = np.array([float(self._fun(x)) for x in X], dtype=float)
         for i in range(X.shape[0]):
             self.n_evaluations += 1
             value = float(values[i])

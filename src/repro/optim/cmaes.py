@@ -94,7 +94,7 @@ class CmaEs(Optimizer):
             xs_clipped = np.clip(xs, 0.0, 1.0)
             penalties = np.sum((xs - xs_clipped) ** 2, axis=1)
             fs = np.array(
-                [counted(lower + xc * span) for xc in xs_clipped]
+                [counted(lower + xc * span) for xc in xs_clipped], dtype=float
             ) + penalties
 
             order = np.argsort(fs)

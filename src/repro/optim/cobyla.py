@@ -80,7 +80,7 @@ class Cobyla(Optimizer):
                 step = np.zeros(dim)
                 step[k] = radius if anchor[k] + radius <= upper[k] else -radius
                 vertices.append(clip(anchor + step))
-            V = np.array(vertices)
+            V = np.array(vertices, dtype=float)
             # one batched call: objectives with a vectorized ``evaluate``
             # (the acquisition functions) score the whole simplex in a
             # single posterior evaluation instead of dim + 1 of them

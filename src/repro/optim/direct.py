@@ -315,7 +315,7 @@ class Direct(Optimizer):
                 minus[k] -= delta
                 points.append(plus)
                 points.append(minus)
-        return np.array(points)
+        return np.array(points, dtype=float)
 
     def _apply_divisions(
         self,

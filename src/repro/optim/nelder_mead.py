@@ -67,7 +67,7 @@ class NelderMead(Optimizer):
             delta = self.initial_scale * span[k]
             step[k] = delta if x0[k] + delta <= upper[k] else -delta
             V.append(clip(x0 + step))
-        V = np.array(V)
+        V = np.array(V, dtype=float)
         if counted.n_evaluations + dim + 1 > self.max_evaluations:
             f0 = counted(V[0])
             return OptimizationResult(
@@ -76,7 +76,7 @@ class NelderMead(Optimizer):
                 message="evaluation budget below simplex size",
                 history=list(counted.history),
             )
-        f = np.array([counted(v) for v in V])
+        f = np.array([counted(v) for v in V], dtype=float)
 
         iteration = 0
         message = "evaluation budget exhausted"

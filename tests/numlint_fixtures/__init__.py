@@ -1,0 +1,8 @@
+"""Fixture snippets for the numlint test suite.
+
+Files in this directory are *inputs* to the linter, not importable test
+code: the ``*_bad.py`` snippets deliberately violate the invariants each
+pass enforces, and the ``*_good.py`` snippets show the sanctioned idiom.
+The directory name is in ``tools.numlint.core.EXCLUDED_DIR_NAMES`` so the
+repo-wide lint run never walks into it.
+"""

@@ -1,0 +1,15 @@
+"""Dtype violations — only flagged when placed in a hot-path module (NL301/NL302)."""
+
+import numpy as np
+
+
+def implicit_dtypes(values, grads):
+    a = np.asarray(values)  # NL301
+    b = np.array([float(g) for g in grads])  # NL301
+    c = np.asfortranarray(values)  # NL301
+    return a, b, c
+
+
+def mixed_precision(x):
+    lowp = np.asarray(x, dtype=np.float32)  # NL302
+    return lowp.astype(np.float64)

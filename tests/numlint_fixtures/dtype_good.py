@@ -1,0 +1,16 @@
+"""Explicit dtypes at every array boundary."""
+
+import numpy as np
+
+
+def explicit_dtypes(values, grads, index):
+    a = np.asarray(values, dtype=float)
+    b = np.array([float(g) for g in grads], dtype=float)
+    c = np.asfortranarray(values, dtype=float)
+    idx = np.asarray(index, dtype=int)  # index arrays are fine as int
+    return a, b, c, idx
+
+
+def allocations(n):
+    # fresh allocations default to float64: no boundary, nothing to flag
+    return np.zeros(n), np.empty((n, n))

@@ -1,0 +1,21 @@
+"""Bad linear algebra: explicit inverses and normal equations (NL101/NL102)."""
+
+import numpy as np
+import scipy.linalg
+from numpy.linalg import inv
+
+
+def explicit_inverse(K):
+    K_inv = np.linalg.inv(K)  # NL101
+    K_inv2 = scipy.linalg.inv(K)  # NL101
+    K_inv3 = inv(K)  # NL101: via from-import
+    return K_inv + K_inv2 + K_inv3
+
+
+def normal_equation_pinv(A):
+    # NL102: cond(A)^2 — exactly the bug fixed in repro.embedding
+    return np.linalg.solve(A.T @ A, A.T)
+
+
+def normal_equation_rowspace(A, b):
+    return scipy.linalg.solve(A @ A.T, b)  # NL102: the E E^T flavor

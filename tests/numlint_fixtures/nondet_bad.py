@@ -1,0 +1,30 @@
+"""Nondeterminism — flagged when placed in library/experiment code (NL40x)."""
+
+import time
+
+import scipy.optimize
+import scipy.stats
+
+
+def wall_clock_seed():
+    return int(time.time())  # NL401
+
+
+def unstable_order(names):
+    unique = set(names)
+    collected = []
+    for name in unique:  # not flagged: static analysis can't see the type
+        collected.append(name)
+    for name in set(names):  # NL402
+        collected.append(name)
+    ordered = list({"a", "b", "c"})  # NL402
+    squares = [n * n for n in {1, 2, 3}]  # NL402
+    return collected, ordered, squares
+
+
+def unseeded_optimizer(objective, bounds):
+    return scipy.optimize.differential_evolution(objective, bounds)  # NL403
+
+
+def unseeded_draws(n):
+    return scipy.stats.norm.rvs(size=n)  # NL403

@@ -1,0 +1,24 @@
+"""Deterministic experiment code: monotonic clocks, sorted orders, seeds."""
+
+import time
+
+import scipy.optimize
+import scipy.stats
+
+
+def measured_duration(fn):
+    start = time.perf_counter()  # monotonic: fine for durations
+    fn()
+    return time.perf_counter() - start
+
+
+def stable_order(names):
+    return [name for name in sorted(set(names))]
+
+
+def seeded_optimizer(objective, bounds, seed):
+    return scipy.optimize.differential_evolution(objective, bounds, seed=seed)
+
+
+def seeded_draws(n, rng):
+    return scipy.stats.norm.rvs(size=n, random_state=rng)

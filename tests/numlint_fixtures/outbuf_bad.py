@@ -1,0 +1,24 @@
+"""Broken *_into contracts (NL201/NL202/NL203/NL204)."""
+
+import numpy as np
+
+
+def corr_into(sq):  # NL201: *_into with no out-style parameter
+    return np.exp(-0.5 * sq)
+
+
+def scale_into(x, factor, out):
+    out = np.empty_like(x)  # NL202: rebinds the caller's buffer
+    out[...] = x * factor
+    return out
+
+
+def copy_into(x, g_out):
+    fresh = x.copy()
+    return fresh  # NL203: returns a fresh array, not the out parameter
+
+
+def noop_into(x, dg_out):  # NL204: dg_out is never written
+    total = float(np.sum(x))
+    del total
+    return None

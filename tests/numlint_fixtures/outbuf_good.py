@@ -1,0 +1,21 @@
+"""Well-formed *_into kernels honoring the out-buffer contract."""
+
+import numpy as np
+
+
+def corr_into(sq, g_out, dg_out=None):
+    np.exp(-0.5 * sq, out=g_out)  # write via out= keyword
+    if dg_out is not None:
+        dg_out[...] = -0.5 * g_out  # write via subscript store
+        dg_out *= 1.0  # in-place update is a write, not a rebind
+    return g_out
+
+
+def fused_into(sq, g_out, dg_out, scratch):
+    np.sqrt(sq, out=scratch)
+    corr_into(scratch, g_out, dg_out)  # forwarding delegates the write
+    return None
+
+
+def fill_into(value, out):
+    out.fill(value)  # write via mutating method

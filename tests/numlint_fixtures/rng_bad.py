@@ -1,0 +1,22 @@
+"""Bad RNG usage: global state and unseeded generators (NL001/NL002)."""
+
+import random
+
+import numpy as np
+from numpy.random import rand
+
+
+def legacy_global_draws(n):
+    np.random.seed(0)  # NL001: mutates hidden global state
+    a = np.random.rand(n)  # NL001
+    b = np.random.uniform(0.0, 1.0, size=n)  # NL001
+    c = rand(n)  # NL001: via from-import alias
+    d = random.random()  # NL001: stdlib global twister
+    state = np.random.RandomState(3)  # NL001: legacy RNG class
+    return a, b, c, d, state
+
+
+def hidden_entropy():
+    rng = np.random.default_rng()  # NL002: unseeded in library code
+    rng2 = np.random.default_rng(None)  # NL002: explicit None is unseeded
+    return rng.standard_normal(4) + rng2.standard_normal(4)

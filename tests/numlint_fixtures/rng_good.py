@@ -1,0 +1,17 @@
+"""Sanctioned RNG usage: explicitly threaded, seedable Generators."""
+
+import numpy as np
+
+
+def seeded_draws(n, seed):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(n)
+
+
+def threaded_generator(n, rng: np.random.Generator):
+    return rng.uniform(0.0, 1.0, size=n)
+
+
+def split_streams(seed, count):
+    parent = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in parent.spawn(count)]

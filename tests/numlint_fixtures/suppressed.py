@@ -1,0 +1,11 @@
+"""Inline suppression: findings silenced by # numlint: disable markers."""
+
+import numpy as np
+
+
+def reference_inverse(K):
+    # a deliberate reference implementation, acknowledged in-line
+    K_inv = np.linalg.inv(K)  # numlint: disable=NL101
+    everything = np.linalg.inv(K)  # numlint: disable
+    wrong_code = np.linalg.inv(K)  # numlint: disable=NL999
+    return K_inv + everything + wrong_code

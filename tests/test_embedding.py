@@ -56,6 +56,42 @@ class TestRandomEmbedding:
         x = emb.to_original_unclipped(z)
         np.testing.assert_allclose(emb.to_embedded(x), z, atol=1e-10)
 
+    def test_pinv_conditioning_regression(self):
+        """QR pseudo-inverse survives an ill-conditioned embedding draw.
+
+        The previous normal-equation form ``solve(AᵀA, Aᵀ)`` squares the
+        condition number: at cond(A) = 1e8, AᵀA has cond 1e16 and the
+        Moore-Penrose identity A A† A = A fails at O(1) relative error.
+        The QR route keeps the error near machine precision.
+        """
+        rng = np.random.default_rng(11)
+        D, d = 30, 6
+        U, _ = np.linalg.qr(rng.standard_normal((D, d)))
+        V, _ = np.linalg.qr(rng.standard_normal((d, d)))
+        singular_values = np.logspace(0, -8, d)  # cond(A) = 1e8
+        A = U @ np.diag(singular_values) @ V.T
+
+        emb = RandomEmbedding(D, d, seed=0)
+        emb.matrix = A
+        emb._pinv = None
+        pinv = emb.pinv
+
+        # left-inverse identity A† A = I and the Eq. 12 reverse map stay
+        # accurate to ~cond(A) * eps
+        left_error = np.abs(pinv @ A - np.eye(d)).max()
+        assert left_error < 1e-7
+        rng2 = np.random.default_rng(12)
+        z = rng2.standard_normal(d)
+        z_error = np.abs(pinv @ (A @ z) - z).max()
+        assert z_error < 1e-7
+
+        # the old formula genuinely fails here (O(1) error), guarding
+        # against the normal-equation form being reintroduced
+        gram_pinv = np.linalg.solve(A.T @ A, A.T)
+        gram_error = np.abs(gram_pinv @ A - np.eye(d)).max()
+        assert gram_error > 1e-2
+        assert gram_error > left_error * 1e4
+
     def test_reproducible_matrix(self):
         a = RandomEmbedding(7, 2, seed=9).matrix
         b = RandomEmbedding(7, 2, seed=9).matrix

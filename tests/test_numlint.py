@@ -1,0 +1,317 @@
+"""Tests for the numlint static-analysis suite.
+
+Every pass is exercised against known-bad and known-good fixture snippets
+under ``tests/numlint_fixtures/``; the suite ends with a self-check
+asserting the repository itself is clean against the committed baseline,
+plus CLI and baseline round-trip tests.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from tools.numlint import (
+    FileContext,
+    all_passes,
+    get_pass,
+    load_baseline,
+    run_paths,
+    save_baseline,
+    split_findings,
+)
+from tools.numlint.core import run_passes_on_context
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = REPO_ROOT / "tests" / "numlint_fixtures"
+
+#: Role-appropriate synthetic paths: dtype hygiene only applies to hot-path
+#: modules and nondeterminism to library/experiment code, so fixtures are
+#: lifted into the relevant part of the tree.
+LIBRARY_PATH = "src/repro/sampling/fixture.py"
+HOT_PATH = "src/repro/gp/fixture.py"
+EXPERIMENT_PATH = "src/repro/experiments/fixture.py"
+TEST_PATH = "tests/fixture.py"
+
+
+def lint_fixture(
+    filename: str, pass_name: str, relpath: str = LIBRARY_PATH
+) -> list:
+    source = (FIXTURES / filename).read_text(encoding="utf-8")
+    ctx = FileContext(relpath, source)
+    return run_passes_on_context(ctx, [get_pass(pass_name)])
+
+
+def codes(findings) -> list[str]:
+    return [f.code for f in findings]
+
+
+class TestRngDiscipline:
+    def test_fires_on_bad(self):
+        found = codes(lint_fixture("rng_bad.py", "rng-discipline"))
+        assert found.count("NL001") == 6
+        assert found.count("NL002") == 2
+
+    def test_silent_on_good(self):
+        assert lint_fixture("rng_good.py", "rng-discipline") == []
+
+    def test_unseeded_allowed_in_tests(self):
+        found = codes(
+            lint_fixture("rng_bad.py", "rng-discipline", relpath=TEST_PATH)
+        )
+        # legacy global-state calls stay banned even in tests, but the
+        # bare default_rng() findings disappear
+        assert "NL002" not in found
+        assert "NL001" in found
+
+
+class TestLinalgSafety:
+    def test_fires_on_bad(self):
+        found = codes(lint_fixture("linalg_bad.py", "linalg-safety"))
+        assert found.count("NL101") == 3
+        assert found.count("NL102") == 2
+
+    def test_silent_on_good(self):
+        assert lint_fixture("linalg_good.py", "linalg-safety") == []
+
+    def test_tests_are_exempt(self):
+        assert (
+            lint_fixture("linalg_bad.py", "linalg-safety", relpath=TEST_PATH)
+            == []
+        )
+
+    def test_flags_the_original_embedding_bug(self):
+        ctx = FileContext(
+            "src/repro/embedding/fixture.py",
+            "import numpy as np\n"
+            "def pinv(A):\n"
+            "    return np.linalg.solve(A.T @ A, A.T)\n",
+        )
+        found = run_passes_on_context(ctx, [get_pass("linalg-safety")])
+        assert codes(found) == ["NL102"]
+
+
+class TestOutBuffer:
+    def test_fires_on_bad(self):
+        found = codes(lint_fixture("outbuf_bad.py", "out-buffer"))
+        assert "NL201" in found
+        assert "NL202" in found
+        assert "NL203" in found
+        assert "NL204" in found
+
+    def test_silent_on_good(self):
+        assert lint_fixture("outbuf_good.py", "out-buffer") == []
+
+    def test_repo_kernels_satisfy_contract(self):
+        # the real hot-path kernels are the reference implementations of
+        # the convention; they must never be flagged
+        path = REPO_ROOT / "src" / "repro" / "kernels" / "stationary.py"
+        ctx = FileContext.from_path(path, REPO_ROOT)
+        assert run_passes_on_context(ctx, [get_pass("out-buffer")]) == []
+
+
+class TestDtypeHygiene:
+    def test_fires_on_bad_in_hot_path(self):
+        found = codes(lint_fixture("dtype_bad.py", "dtype-hygiene", HOT_PATH))
+        assert found.count("NL301") == 3
+        assert found.count("NL302") == 1
+
+    def test_silent_on_good_in_hot_path(self):
+        assert lint_fixture("dtype_good.py", "dtype-hygiene", HOT_PATH) == []
+
+    def test_out_of_scope_module_not_flagged(self):
+        assert lint_fixture("dtype_bad.py", "dtype-hygiene", LIBRARY_PATH) == []
+
+
+class TestNondeterminism:
+    def test_fires_on_bad(self):
+        found = codes(
+            lint_fixture("nondet_bad.py", "nondeterminism", EXPERIMENT_PATH)
+        )
+        assert found.count("NL401") == 1
+        assert found.count("NL402") == 3
+        assert found.count("NL403") == 2
+
+    def test_silent_on_good(self):
+        assert (
+            lint_fixture("nondet_good.py", "nondeterminism", EXPERIMENT_PATH)
+            == []
+        )
+
+    def test_tests_are_exempt(self):
+        assert (
+            lint_fixture("nondet_bad.py", "nondeterminism", relpath=TEST_PATH)
+            == []
+        )
+
+
+class TestSuppression:
+    def test_inline_disable(self):
+        found = codes(lint_fixture("suppressed.py", "linalg-safety"))
+        # the targeted and blanket disables silence their lines; the
+        # wrong-code disable does not
+        assert found == ["NL101"]
+
+
+class TestFramework:
+    def test_all_passes_registered(self):
+        names = {p.name for p in all_passes()}
+        assert names == {
+            "rng-discipline",
+            "linalg-safety",
+            "out-buffer",
+            "dtype-hygiene",
+            "nondeterminism",
+        }
+
+    def test_syntax_error_reported_not_raised(self):
+        ctx = FileContext(LIBRARY_PATH, "def broken(:\n")
+        found = run_passes_on_context(ctx, all_passes())
+        assert codes(found) == ["NL000"]
+
+    def test_alias_resolution(self):
+        ctx = FileContext(
+            LIBRARY_PATH,
+            "import numpy.linalg as la\n"
+            "def f(K):\n"
+            "    return la.inv(K)\n",
+        )
+        found = run_passes_on_context(ctx, [get_pass("linalg-safety")])
+        assert codes(found) == ["NL101"]
+
+
+class TestBaseline:
+    BAD = (
+        "import numpy as np\n"
+        "def f(K):\n"
+        "    return np.linalg.inv(K)\n"
+    )
+
+    def _write_tree(self, root: Path, extra_line: bool = False) -> Path:
+        src = root / "src" / "pkg"
+        src.mkdir(parents=True, exist_ok=True)
+        body = self.BAD
+        if extra_line:
+            body += "def g(K):\n    return np.linalg.inv(K + 1)\n"
+        (src / "mod.py").write_text(body, encoding="utf-8")
+        return root
+
+    def test_round_trip_and_new_finding_detection(self, tmp_path):
+        root = self._write_tree(tmp_path)
+        baseline_path = root / "baseline.json"
+        findings = run_paths(["src"], root)
+        assert codes(findings) == ["NL101"]
+
+        save_baseline(baseline_path, findings)
+        baseline = load_baseline(baseline_path)
+        new, baselined, stale = split_findings(findings, baseline)
+        assert new == [] and len(baselined) == 1 and stale == []
+
+        # a second offending line is new relative to the baseline
+        self._write_tree(tmp_path, extra_line=True)
+        findings = run_paths(["src"], root)
+        new, baselined, stale = split_findings(findings, baseline)
+        assert len(new) == 1 and len(baselined) == 1 and stale == []
+
+        # fixing everything leaves the baseline entry stale
+        (root / "src" / "pkg" / "mod.py").write_text(
+            "def f(K):\n    return K\n", encoding="utf-8"
+        )
+        findings = run_paths(["src"], root)
+        new, baselined, stale = split_findings(findings, baseline)
+        assert new == [] and baselined == [] and len(stale) == 1
+
+    def test_fingerprints_survive_line_moves(self, tmp_path):
+        root = self._write_tree(tmp_path)
+        baseline_path = root / "baseline.json"
+        save_baseline(baseline_path, run_paths(["src"], root))
+        baseline = load_baseline(baseline_path)
+
+        # prepend unrelated code: line numbers shift, fingerprints don't
+        mod = root / "src" / "pkg" / "mod.py"
+        mod.write_text(
+            "import numpy as np\n\n\ndef unrelated():\n    return 1\n\n"
+            "def f(K):\n    return np.linalg.inv(K)\n",
+            encoding="utf-8",
+        )
+        new, baselined, stale = split_findings(
+            run_paths(["src"], root), baseline
+        )
+        assert new == [] and len(baselined) == 1 and stale == []
+
+
+class TestRepoSelfCheck:
+    def test_repo_clean_against_committed_baseline(self):
+        findings = run_paths(["src", "benchmarks", "tests"], REPO_ROOT)
+        baseline = load_baseline(REPO_ROOT / "tools" / "numlint" / "baseline.json")
+        new, _, stale = split_findings(findings, baseline)
+        rendered = "\n".join(f.render() for f in new)
+        assert new == [], f"new numlint findings:\n{rendered}"
+        assert stale == [], (
+            "stale baseline entries; run "
+            "`python -m tools.numlint src benchmarks tests --update-baseline`"
+        )
+
+    def test_fixture_directory_is_excluded_from_walks(self):
+        findings = run_paths(["tests"], REPO_ROOT)
+        assert all("numlint_fixtures" not in f.relpath for f in findings)
+
+
+class TestCli:
+    def _run(self, *argv: str, cwd: Path = REPO_ROOT):
+        return subprocess.run(
+            [sys.executable, "-m", "tools.numlint", *argv],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+        )
+
+    def test_repo_exits_zero(self):
+        proc = self._run("src", "benchmarks", "tests")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_bad_file_exits_one_with_json(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(TestBaseline.BAD, encoding="utf-8")
+        proc = self._run(
+            str(bad), "--root", str(tmp_path), "--no-baseline",
+            "--format", "json",
+        )
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert [f["code"] for f in payload["new"]] == ["NL101"]
+
+    def test_update_baseline_then_clean(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(TestBaseline.BAD, encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+        proc = self._run(
+            "bad.py", "--root", str(tmp_path),
+            "--baseline", str(baseline), "--update-baseline",
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        proc = self._run(
+            "bad.py", "--root", str(tmp_path), "--baseline", str(baseline)
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_list_passes(self):
+        proc = self._run("--list-passes")
+        assert proc.returncode == 0
+        for code in ("NL001", "NL101", "NL201", "NL301", "NL401"):
+            assert code in proc.stdout
+
+    def test_missing_path_is_usage_error(self):
+        proc = self._run("no/such/dir")
+        assert proc.returncode == 2
+
+
+@pytest.mark.parametrize("lint_pass", all_passes(), ids=lambda p: p.name)
+def test_every_pass_declares_codes_and_description(lint_pass):
+    assert lint_pass.codes, "passes must declare at least one code"
+    assert lint_pass.description
+    assert all(code.startswith("NL") for code in lint_pass.codes)

@@ -1,0 +1,5 @@
+"""Repository tooling (static analysis, CI helpers).
+
+Not part of the :mod:`repro` library — nothing here is imported by the
+reproduction code itself.
+"""

@@ -1,0 +1,48 @@
+"""numlint — numerics-aware static analysis for this repository.
+
+The GP hot path introduced conventions that ordinary linters cannot see:
+in-place ``*_into`` kernels must honor their output-buffer contract,
+linear algebra must go through Cholesky/least-squares rather than explicit
+inverses or normal equations, and every stochastic component must thread an
+explicit :class:`numpy.random.Generator`.  ``numlint`` walks the tree with
+AST passes that enforce those invariants and fails CI on *new* findings
+relative to a committed baseline.
+
+Usage::
+
+    python -m tools.numlint src benchmarks tests
+
+See ``python -m tools.numlint --help`` and DESIGN.md §8 for details.
+"""
+
+from tools.numlint.baseline import (
+    fingerprint_findings,
+    load_baseline,
+    save_baseline,
+    split_findings,
+)
+from tools.numlint.core import (
+    FileContext,
+    Finding,
+    LintPass,
+    iter_python_files,
+    run_paths,
+)
+from tools.numlint.passes import all_passes, get_pass, register
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "LintPass",
+    "all_passes",
+    "get_pass",
+    "register",
+    "iter_python_files",
+    "run_paths",
+    "fingerprint_findings",
+    "load_baseline",
+    "save_baseline",
+    "split_findings",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,7 @@
+"""``python -m tools.numlint`` entry point."""
+
+import sys
+
+from tools.numlint.cli import main
+
+sys.exit(main())

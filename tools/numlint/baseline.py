@@ -1,0 +1,102 @@
+"""Baseline bookkeeping: fail CI only on *new* findings.
+
+A baseline is a committed JSON file mapping stable fingerprints to the
+finding they grandfather in.  Fingerprints deliberately exclude line
+numbers — they hash the file path, the diagnostic code, and the normalized
+source line (plus an occurrence index for identical lines), so unrelated
+edits that shift code around do not invalidate the baseline, while any
+change to a flagged line surfaces it again.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Sequence
+
+from tools.numlint.core import Finding
+
+BASELINE_VERSION = 1
+
+
+def _normalize_line(text: str) -> str:
+    return " ".join(text.split())
+
+
+def fingerprint_findings(findings: Sequence[Finding]) -> dict[str, Finding]:
+    """Map each finding to a stable fingerprint.
+
+    Occurrence indices are assigned in (path, line) order so two identical
+    offending lines in one file get distinct, reproducible fingerprints.
+    """
+    ordered = sorted(findings, key=lambda f: (f.relpath, f.line, f.col, f.code))
+    counts: Counter[tuple[str, str, str]] = Counter()
+    out: dict[str, Finding] = {}
+    for finding in ordered:
+        normalized = _normalize_line(finding.line_text)
+        key = (finding.relpath, finding.code, normalized)
+        occurrence = counts[key]
+        counts[key] += 1
+        payload = f"{finding.relpath}|{finding.code}|{normalized}|{occurrence}"
+        digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+        out[digest] = finding
+    return out
+
+
+def load_baseline(path: Path) -> dict[str, dict]:
+    """Load the fingerprint map from ``path``; missing file means empty."""
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {data.get('version')!r} in {path}"
+        )
+    findings = data.get("findings", {})
+    if not isinstance(findings, dict):
+        raise ValueError(f"malformed baseline file {path}")
+    return findings
+
+
+def save_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Write a baseline grandfathering in exactly ``findings``."""
+    fingerprints = fingerprint_findings(findings)
+    payload = {
+        "version": BASELINE_VERSION,
+        "tool": "numlint",
+        "findings": {
+            digest: {
+                "path": finding.relpath,
+                "code": finding.code,
+                "message": finding.message,
+                "line": finding.line,
+            }
+            for digest, finding in sorted(fingerprints.items())
+        },
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def split_findings(
+    findings: Sequence[Finding], baseline: dict[str, dict]
+) -> tuple[list[Finding], list[Finding], list[str]]:
+    """Partition findings into (new, baselined) plus stale fingerprints.
+
+    Stale fingerprints are baseline entries that no longer match any
+    finding — the offending code was fixed or changed, and the baseline
+    should be regenerated with ``--update-baseline``.
+    """
+    fingerprints = fingerprint_findings(findings)
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    for digest, finding in fingerprints.items():
+        if digest in baseline:
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    stale = sorted(set(baseline) - set(fingerprints))
+    new.sort(key=lambda f: (f.relpath, f.line, f.col, f.code))
+    baselined.sort(key=lambda f: (f.relpath, f.line, f.col, f.code))
+    return new, baselined, stale

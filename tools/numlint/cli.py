@@ -1,0 +1,200 @@
+"""Command-line entry point: ``python -m tools.numlint`` / ``numlint``.
+
+Exit codes: 0 — clean (every finding baselined), 1 — new findings (or
+baseline written with ``--update-baseline`` … which still exits 0), 2 —
+usage or internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from tools.numlint.baseline import load_baseline, save_baseline, split_findings
+from tools.numlint.core import run_paths
+from tools.numlint.passes import all_passes, get_pass
+
+DEFAULT_PATHS = ("src", "benchmarks", "tests")
+DEFAULT_BASELINE = Path("tools") / "numlint" / "baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="numlint",
+        description=(
+            "numerics-aware static analysis: RNG discipline, linalg "
+            "safety, out-buffer contracts, dtype hygiene, nondeterminism"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help=f"files or directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path.cwd(),
+        help="repository root that relative paths and the baseline resolve "
+        "against (default: cwd)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding, ignoring the baseline",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to grandfather in the current findings",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated code prefixes to report (e.g. NL0,NL101)",
+    )
+    parser.add_argument(
+        "--pass",
+        dest="pass_names",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only the named pass (repeatable)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-passes",
+        action="store_true",
+        help="list registered passes and their codes, then exit",
+    )
+    parser.add_argument(
+        "--show-baselined",
+        action="store_true",
+        help="also print findings suppressed by the baseline",
+    )
+    parser.add_argument(
+        "--with-external",
+        action="store_true",
+        help="additionally run ruff and mypy when installed (skipped with a "
+        "notice otherwise)",
+    )
+    return parser
+
+
+def _list_passes() -> int:
+    for lint_pass in all_passes():
+        print(f"{lint_pass.name}: {lint_pass.description}")
+        for code, summary in sorted(lint_pass.codes.items()):
+            print(f"  {code}  {summary}")
+    return 0
+
+
+def _run_external(root: Path) -> int:
+    """Best-effort ruff + mypy; missing tools are a notice, not a failure."""
+    status = 0
+    for tool, cmd in (
+        ("ruff", ["ruff", "check", "src", "benchmarks", "tests", "tools"]),
+        ("mypy", ["mypy", "--config-file", "pyproject.toml"]),
+    ):
+        if shutil.which(tool) is None:
+            print(f"numlint: {tool} not installed; skipping")
+            continue
+        print(f"numlint: running {' '.join(cmd)}")
+        proc = subprocess.run(cmd, cwd=root)
+        status = max(status, min(proc.returncode, 1))
+    return status
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_passes:
+        return _list_passes()
+
+    root = args.root.resolve()
+    baseline_path = (
+        args.baseline if args.baseline is not None else root / DEFAULT_BASELINE
+    )
+    if not baseline_path.is_absolute():
+        baseline_path = root / baseline_path
+    select = (
+        [s.strip() for s in args.select.split(",") if s.strip()]
+        if args.select
+        else None
+    )
+    try:
+        passes = (
+            [get_pass(name) for name in args.pass_names]
+            if args.pass_names
+            else None
+        )
+        findings = run_paths(args.paths, root, passes=passes, select=select)
+    except (FileNotFoundError, KeyError) as exc:
+        print(f"numlint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        save_baseline(baseline_path, findings)
+        print(
+            f"numlint: baseline written to "
+            f"{baseline_path.relative_to(root)} ({len(findings)} findings)"
+        )
+        return 0
+
+    baseline = {} if args.no_baseline else load_baseline(baseline_path)
+    new, baselined, stale = split_findings(findings, baseline)
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "new": [f.to_json() for f in new],
+                    "baselined": [f.to_json() for f in baselined],
+                    "stale_fingerprints": stale,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in new:
+            print(finding.render())
+        if args.show_baselined:
+            for finding in baselined:
+                print(f"{finding.render()} (baselined)")
+        summary = (
+            f"numlint: {len(new)} new finding(s), "
+            f"{len(baselined)} baselined, {len(stale)} stale baseline entr"
+            f"{'y' if len(stale) == 1 else 'ies'}"
+        )
+        print(summary)
+        if stale:
+            print(
+                "numlint: stale entries no longer match any finding; "
+                "refresh with --update-baseline"
+            )
+
+    status = 1 if new else 0
+    if args.with_external:
+        status = max(status, _run_external(root))
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

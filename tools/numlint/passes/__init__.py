@@ -1,0 +1,54 @@
+"""Pass registry.
+
+Passes register themselves via the :func:`register` decorator at import
+time; importing this package pulls in every builtin pass module, so
+``all_passes()`` reflects the full suite without a hand-maintained list.
+"""
+
+from __future__ import annotations
+
+from tools.numlint.core import LintPass
+
+_REGISTRY: dict[str, type[LintPass]] = {}
+
+
+def register(cls: type[LintPass]) -> type[LintPass]:
+    """Class decorator adding a pass to the global registry."""
+    name = getattr(cls, "name", None)
+    if not name:
+        raise ValueError(f"pass {cls.__name__} must define a non-empty name")
+    if name in _REGISTRY and _REGISTRY[name] is not cls:
+        raise ValueError(f"duplicate pass name {name!r}")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def get_pass(name: str) -> LintPass:
+    """Instantiate a registered pass by name."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown pass {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_passes() -> list[LintPass]:
+    """Instantiate every registered pass, in registration order."""
+    return [cls() for cls in _REGISTRY.values()]
+
+
+def registry() -> dict[str, type[LintPass]]:
+    return dict(_REGISTRY)
+
+
+# Builtin passes register on import.
+from tools.numlint.passes import (  # noqa: E402,F401
+    dtype_hygiene,
+    linalg_safety,
+    nondeterminism,
+    out_buffer,
+    rng_discipline,
+)
+
+__all__ = ["register", "get_pass", "all_passes", "registry"]

@@ -1,0 +1,94 @@
+"""Dtype hygiene on the float64 hot path.
+
+``repro.gp``, ``repro.kernels``, ``repro.acquisition`` and ``repro.optim``
+are float64 end-to-end: the LAPACK bindings in ``gp.model`` are resolved
+for double precision, and the workspace buffers are allocated as float64.
+An array that arrives as float32 (or object, from a ragged list) silently
+upcasts on first contact — or worse, flows into an ``out=`` buffer of the
+wrong dtype and raises deep inside a kernel.
+
+* **NL301** — ``np.asarray`` / ``np.array`` / ``np.asfortranarray`` /
+  ``np.ascontiguousarray`` without an explicit ``dtype`` in a hot-path
+  module.  The result dtype is inherited from arbitrary caller input;
+  pass ``dtype=float`` at the boundary so everything downstream is
+  provably float64.
+* **NL302** — a reference to a reduced-precision float dtype
+  (``np.float32`` / ``np.float16`` / ``np.half`` / ``np.single``) in a
+  hot-path module, which would mix precisions with the float64 pipeline.
+
+Scope: hot-path modules only (``src/repro/{gp,kernels,acquisition,optim}``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from tools.numlint.core import FileContext, Finding, LintPass
+from tools.numlint.passes import register
+
+_CONVERTERS = frozenset(
+    {
+        "numpy.asarray",
+        "numpy.array",
+        "numpy.asfortranarray",
+        "numpy.ascontiguousarray",
+    }
+)
+
+_NARROW_FLOATS = frozenset(
+    {
+        "numpy.float32",
+        "numpy.float16",
+        "numpy.half",
+        "numpy.single",
+    }
+)
+
+
+@register
+class DtypeHygienePass(LintPass):
+    name = "dtype-hygiene"
+    description = (
+        "require explicit dtypes at array boundaries and forbid "
+        "reduced-precision floats in the float64 hot path"
+    )
+    codes = {
+        "NL301": "np.asarray/np.array without explicit dtype in hot-path module",
+        "NL302": "reduced-precision float dtype in the float64 hot path",
+    }
+
+    def run(self, ctx: FileContext) -> Iterable[Finding]:
+        if not ctx.is_hot_path:
+            return
+        yield from self._check(ctx)
+
+    def _check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                qual = ctx.qualified(node.func)
+                if qual in _CONVERTERS:
+                    has_dtype = any(
+                        kw.arg in ("dtype", None) for kw in node.keywords
+                    ) or len(node.args) >= 2
+                    if not has_dtype:
+                        name = qual.rsplit(".", 1)[-1]
+                        yield self.emit(
+                            ctx,
+                            node,
+                            "NL301",
+                            f"np.{name} without dtype inherits the caller's "
+                            "precision; hot-path modules are float64 — pass "
+                            "dtype=float (or dtype=int for index arrays)",
+                        )
+            elif isinstance(node, (ast.Attribute, ast.Name)):
+                qual = ctx.qualified(node)
+                if qual in _NARROW_FLOATS:
+                    yield self.emit(
+                        ctx,
+                        node,
+                        "NL302",
+                        f"{qual} mixes reduced precision into the float64 "
+                        "hot path; the GP/kernel pipeline is double "
+                        "precision end-to-end",
+                    )

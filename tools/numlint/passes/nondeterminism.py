@@ -1,0 +1,150 @@
+"""Nondeterminism sources in library and experiment code.
+
+Failure-rate tables are produced by experiment drivers
+(``repro.experiments``, ``benchmarks/``); a wall-clock read or an
+iteration whose order varies between interpreter invocations makes two
+"identical" runs disagree, which is indistinguishable from a real
+regression in rare-failure counts.
+
+* **NL401** — wall-clock reads (``time.time``, ``time.time_ns``,
+  ``datetime.now``, ``datetime.utcnow``) in library/experiment code.
+  Durations belong to ``time.perf_counter`` (monotonic, and allowed);
+  wall-clock values leak into seeds, filenames and result ordering.
+* **NL402** — iterating a set (``for x in {…}`` / ``in set(...)`` /
+  ``list(set(...))``).  With string members, iteration order depends on
+  ``PYTHONHASHSEED`` and differs between runs; wrap in ``sorted(...)``.
+* **NL403** — a call to a stochastic ``scipy.optimize`` driver
+  (``differential_evolution``, ``dual_annealing``, ``basinhopping``) or a
+  ``.rvs(...)`` distribution draw without an explicit
+  ``seed=``/``rng=``/``random_state=`` argument.
+
+Scope: ``src/`` and ``benchmarks/`` (NL402/NL403 everywhere there;
+NL401 also applies inside ``src``).  Tests are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from tools.numlint.core import FileContext, Finding, LintPass
+from tools.numlint.passes import register
+
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.now",
+        "datetime.utcnow",
+    }
+)
+
+_STOCHASTIC_OPTIMIZERS = frozenset(
+    {
+        "scipy.optimize.differential_evolution",
+        "scipy.optimize.dual_annealing",
+        "scipy.optimize.basinhopping",
+    }
+)
+
+_SEED_KWARGS = ("seed", "rng", "random_state")
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, ast.Set) or isinstance(node, ast.SetComp):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def _has_seed_kwarg(call: ast.Call) -> bool:
+    return any(kw.arg in (None, *_SEED_KWARGS) for kw in call.keywords)
+
+
+@register
+class NondeterminismPass(LintPass):
+    name = "nondeterminism"
+    description = (
+        "flag wall-clock reads, order-unstable iteration and unseeded "
+        "scipy stochastic calls in library/experiment code"
+    )
+    codes = {
+        "NL401": "wall-clock read (time.time / datetime.now) in library code",
+        "NL402": "iteration over a set: order varies with PYTHONHASHSEED",
+        "NL403": "unseeded stochastic scipy call in library/experiment code",
+    }
+
+    def run(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.is_test:
+            return
+        if not (ctx.is_library or ctx.is_benchmark):
+            return
+        yield from self._check(ctx)
+
+    def _check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_expr(node.iter):
+                    yield self._set_iteration(ctx, node.iter)
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                for gen in node.generators:
+                    if _is_set_expr(gen.iter):
+                        yield self._set_iteration(ctx, gen.iter)
+
+    def _set_iteration(self, ctx: FileContext, node: ast.AST) -> Finding:
+        return self.emit(
+            ctx,
+            node,
+            "NL402",
+            "iterating a set: order depends on PYTHONHASHSEED for str "
+            "members; iterate sorted(...) for a reproducible order",
+        )
+
+    def _check_call(self, ctx: FileContext, node: ast.Call) -> Iterator[Finding]:
+        qual = ctx.qualified(node.func)
+        if qual in _WALL_CLOCK:
+            yield self.emit(
+                ctx,
+                node,
+                "NL401",
+                f"{qual}() reads the wall clock; use time.perf_counter for "
+                "durations and an explicit seed for anything that feeds "
+                "results",
+            )
+            return
+        if qual in _STOCHASTIC_OPTIMIZERS and not _has_seed_kwarg(node):
+            short = qual.rsplit(".", 1)[-1]
+            yield self.emit(
+                ctx,
+                node,
+                "NL403",
+                f"scipy.optimize.{short} without seed=; pass a seed derived "
+                "from the experiment's Generator (repro.utils.rng.spawn)",
+            )
+            return
+        # distribution draws: anything.rvs(...) without random_state
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "rvs"
+            and not _has_seed_kwarg(node)
+        ):
+            yield self.emit(
+                ctx,
+                node,
+                "NL403",
+                "scipy distribution .rvs() without random_state=; draws "
+                "come from scipy's global RNG and are irreproducible",
+            )
+        # materializing a set into an ordered container without sorting
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in ("list", "tuple")
+            and len(node.args) == 1
+            and _is_set_expr(node.args[0])
+        ):
+            yield self._set_iteration(ctx, node)

@@ -1,0 +1,147 @@
+"""RNG discipline: no global-state randomness, no unseeded generators.
+
+The paper's rare-failure counts are only meaningful when every run is
+reproducible, so all randomness must flow through explicitly threaded
+:class:`numpy.random.Generator` objects (``repro.utils.rng.as_generator``
+is the sanctioned funnel).
+
+* **NL001** — a legacy global-state call (``np.random.rand``,
+  ``np.random.seed``, stdlib ``random.random``, ...).  These share hidden
+  mutable state across the whole process: any library call that touches it
+  perturbs every other consumer, and parallel workers silently correlate.
+  Applies everywhere, tests included.
+* **NL002** — ``np.random.default_rng()`` with no seed argument in library
+  or benchmark code.  An unseeded generator draws entropy from the OS, so
+  two runs of the "same" experiment diverge.  Tests are exempt (a test that
+  wants OS entropy is making a deliberate choice).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from tools.numlint.core import FileContext, Finding, LintPass
+from tools.numlint.passes import register
+
+#: numpy.random attributes that are part of the Generator-era API and fine
+#: to reference; anything else called on ``numpy.random`` is legacy global
+#: state (or a bound-method of it).
+_GENERATOR_ERA = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: stdlib ``random`` module-level functions that mutate the hidden global
+#: Mersenne twister.
+_STDLIB_GLOBAL = frozenset(
+    {
+        "random.random",
+        "random.seed",
+        "random.randint",
+        "random.randrange",
+        "random.uniform",
+        "random.gauss",
+        "random.normalvariate",
+        "random.choice",
+        "random.choices",
+        "random.sample",
+        "random.shuffle",
+        "random.betavariate",
+        "random.expovariate",
+        "random.triangular",
+        "random.getrandbits",
+    }
+)
+
+
+def _is_unseeded(call: ast.Call) -> bool:
+    """True when the call passes no seed at all (or an explicit None)."""
+    args = [a for a in call.args if not isinstance(a, ast.Starred)]
+    if len(call.args) != len(args):
+        return False  # *args could carry a seed; give it the benefit
+    positional_none = args and (
+        isinstance(args[0], ast.Constant) and args[0].value is None
+    )
+    if args and not positional_none:
+        return False
+    seed_kwargs = [k for k in call.keywords if k.arg in (None, "seed")]
+    for kw in seed_kwargs:
+        if kw.arg is None:
+            return False  # **kwargs could carry a seed
+        if not (isinstance(kw.value, ast.Constant) and kw.value.value is None):
+            return False
+    return True
+
+
+@register
+class RngDisciplinePass(LintPass):
+    name = "rng-discipline"
+    description = (
+        "forbid global-state randomness; require explicitly threaded, "
+        "seedable Generators"
+    )
+    codes = {
+        "NL001": "legacy global-state RNG call (np.random.* / random.*)",
+        "NL002": "unseeded default_rng() in library/benchmark code",
+    }
+
+    def run(self, ctx: FileContext) -> Iterable[Finding]:
+        yield from self._check_calls(ctx)
+
+    def _check_calls(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = ctx.qualified(node.func)
+            if qual is None:
+                continue
+            if qual.startswith("numpy.random."):
+                attr = qual.split(".", 2)[2]
+                head = attr.split(".", 1)[0]
+                if head == "RandomState":
+                    yield self.emit(
+                        ctx,
+                        node,
+                        "NL001",
+                        "np.random.RandomState is the legacy RNG; use "
+                        "np.random.default_rng / repro.utils.rng.as_generator",
+                    )
+                elif head not in _GENERATOR_ERA:
+                    yield self.emit(
+                        ctx,
+                        node,
+                        "NL001",
+                        f"np.random.{attr} mutates hidden global RNG state; "
+                        "thread an explicit np.random.Generator instead "
+                        "(repro.utils.rng.as_generator)",
+                    )
+                elif (
+                    head == "default_rng"
+                    and not ctx.is_test
+                    and _is_unseeded(node)
+                ):
+                    yield self.emit(
+                        ctx,
+                        node,
+                        "NL002",
+                        "default_rng() without a seed is irreproducible; "
+                        "accept a seed/Generator parameter and pass it here",
+                    )
+            elif qual in _STDLIB_GLOBAL:
+                yield self.emit(
+                    ctx,
+                    node,
+                    "NL001",
+                    f"stdlib {qual}() uses hidden global RNG state; use a "
+                    "seeded random.Random or numpy Generator instead",
+                )
