@@ -13,8 +13,10 @@ from __future__ import annotations
 import numpy as np
 from scipy.stats import norm
 
+from repro._typing import ArrayLike, FloatArray
 from repro.acquisition.base import AcquisitionFunction
 from repro.gp.model import GaussianProcess
+from repro.utils.contracts import shape_contract
 from repro.utils.validation import as_matrix
 
 #: Floor on the posterior std to keep z-scores finite at training points.
@@ -30,11 +32,12 @@ class ProbabilityOfImprovement(AcquisitionFunction):
             raise ValueError(f"xi must be non-negative, got {xi}")
         self.xi = float(xi)
 
+    @shape_contract("X: a(m, d) | a(d,) -> (m,)")
     def evaluate(self, X: np.ndarray) -> np.ndarray:
         pred = self.gp.predict(as_matrix(X))
         std = np.maximum(pred.std, _MIN_STD)
         z = (self.incumbent - self.xi - pred.mean) / std
-        return -norm.cdf(z)
+        return -np.asarray(norm.cdf(z), dtype=float)
 
 
 class ExpectedImprovement(AcquisitionFunction):
@@ -46,12 +49,15 @@ class ExpectedImprovement(AcquisitionFunction):
             raise ValueError(f"xi must be non-negative, got {xi}")
         self.xi = float(xi)
 
+    @shape_contract("X: a(m, d) | a(d,) -> (m,)")
     def evaluate(self, X: np.ndarray) -> np.ndarray:
         pred = self.gp.predict(as_matrix(X))
         std = np.maximum(pred.std, _MIN_STD)
         improvement = self.incumbent - self.xi - pred.mean
         z = improvement / std
-        ei = improvement * norm.cdf(z) + std * norm.pdf(z)
+        ei = np.asarray(
+            improvement * norm.cdf(z) + std * norm.pdf(z), dtype=float
+        )
         return -np.maximum(ei, 0.0)
 
 
@@ -64,6 +70,7 @@ class LowerConfidenceBound(AcquisitionFunction):
             raise ValueError(f"kappa must be non-negative, got {kappa}")
         self.kappa = float(kappa)
 
+    @shape_contract("X: a(m, d) | a(d,) -> (m,)")
     def evaluate(self, X: np.ndarray) -> np.ndarray:
         pred = self.gp.predict(as_matrix(X))
         return pred.mean - self.kappa * pred.std
@@ -78,6 +85,7 @@ class WeightedAcquisition(AcquisitionFunction):
             raise ValueError(f"weight must lie in [0, 1], got {weight}")
         self.weight = float(weight)
 
+    @shape_contract("X: a(m, d) | a(d,) -> (m,)")
     def evaluate(self, X: np.ndarray) -> np.ndarray:
         pred = self.gp.predict(as_matrix(X))
         return (1.0 - self.weight) * pred.mean - self.weight * pred.std
@@ -92,23 +100,25 @@ class MultiWeightAcquisition:
     which is what makes the lockstep pBO proposal cheap.
     """
 
-    def __init__(self, gp: GaussianProcess, weights) -> None:
+    def __init__(self, gp: GaussianProcess, weights: ArrayLike) -> None:
         if not gp.is_fitted:
             raise RuntimeError("acquisition functions require a fitted GP")
-        weights = np.asarray(weights, dtype=float).ravel()
-        if weights.size == 0:
+        w = np.asarray(weights, dtype=float).ravel()
+        if w.size == 0:
             raise ValueError("at least one weight is required")
-        if np.any(weights < 0) or np.any(weights > 1):
+        if np.any(w < 0) or np.any(w > 1):
             raise ValueError("weights must lie in [0, 1]")
         self.gp = gp
-        self.weights = weights
+        self.weights: FloatArray = w
 
+    @shape_contract("X: a(m, d) | a(d,) -> (n_w, m)")
     def evaluate_all(self, X: np.ndarray) -> np.ndarray:
         pred = self.gp.predict(as_matrix(X))
         w = self.weights[:, None]
         return (1.0 - w) * pred.mean[None, :] - w * pred.std[None, :]
 
 
+@shape_contract("batch_size: n -> (n,)")
 def pbo_weights(batch_size: int) -> np.ndarray:
     """The preset weight ladder ``w_1 … w_{n_b}`` for a pBO batch.
 

@@ -11,12 +11,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._typing import ArrayLike
 from repro.acquisition.base import AcquisitionFunction
 from repro.optim.base import Optimizer
 from repro.optim.cobyla import Cobyla
 from repro.optim.direct import Direct
 from repro.optim.multistart import GlobalLocalOptimizer
 from repro.optim.result import OptimizationResult
+from repro.utils.contracts import shape_contract
 from repro.utils.validation import check_bounds
 
 
@@ -55,9 +57,10 @@ def default_acquisition_optimizer(
     )
 
 
+@shape_contract("bounds: a(d, 2) | a(2, d)")
 def optimize_acquisition(
     acquisition: AcquisitionFunction,
-    bounds,
+    bounds: ArrayLike,
     optimizer: Optimizer | None = None,
 ) -> OptimizationResult:
     """Return ``argmin α(x)`` over the box ``bounds``.

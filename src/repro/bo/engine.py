@@ -17,6 +17,7 @@ from repro.gp.model import GaussianProcess
 from repro.gp.standardize import Standardizer
 from repro.kernels.stationary import Matern52
 from repro.optim.base import Optimizer
+from repro.utils.contracts import shape_contract
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import as_matrix, as_vector, check_bounds
 
@@ -29,6 +30,7 @@ def default_kernel_factory(dim: int):
     return Matern52(dim=dim, ard=True)
 
 
+@shape_contract("bounds: a(d, 2) | a(2, d), n_init: n -> (n, d)")
 def uniform_initial_design(
     bounds, n_init: int, seed: SeedLike = None
 ) -> np.ndarray:

@@ -38,6 +38,7 @@ from repro.embedding.dimension_selection import (
     select_embedding_dimension,
 )
 from repro.embedding.random_embedding import RandomEmbedding
+from repro.utils.contracts import shape_contract
 from repro.utils.rng import SeedLike, as_generator, spawn
 from repro.utils.timing import Timer
 from repro.utils.validation import as_matrix, as_vector, check_bounds
@@ -111,6 +112,7 @@ class RemboBO:
         self.n_jobs = int(n_jobs)
         self._rng = as_generator(seed)
 
+    @shape_contract("bounds: a(D, 2) | a(2, D)")
     def run(
         self,
         objective: Callable[[np.ndarray], float],

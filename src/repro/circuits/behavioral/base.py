@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.bo.spec import Specification
+from repro.utils.contracts import shape_contract
 from repro.utils.validation import as_float_array, unit_cube_bounds
 
 
@@ -61,6 +62,7 @@ class CircuitTestbench(abc.ABC):
         """The failure search region Ω = [-1, 1]^D."""
         return unit_cube_bounds(self.dim)
 
+    @shape_contract("x: a(D,) -> (D,)")
     def _check(self, x) -> np.ndarray:
         x = as_float_array(x, "x")
         if x.shape != (self.dim,):

@@ -52,6 +52,7 @@ from repro.circuits.behavioral.base import (
     local_halo,
     soft_step,
 )
+from repro.utils.contracts import shape_contract
 
 #: 4σ spreads: fractional channel length, threshold voltage (V), fractional tox.
 _L_SPREAD = 0.10
@@ -69,6 +70,7 @@ _BIAS = (12, 13, 14, 15)  # M13-M16: bias generator
 _REFERENCE = (16, 17, 18, 19)  # M17-M20: reference / startup
 
 
+@shape_contract("-> (60,)")
 def _dense_direction(
     group_weights: dict[str, tuple[float, float, float]],
     signs_seed: int,

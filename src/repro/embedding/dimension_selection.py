@@ -18,6 +18,7 @@ import numpy as np
 
 from repro._typing import ArrayLike, FloatArray, IntArray
 from repro.embedding.random_embedding import RandomEmbedding
+from repro.utils.contracts import shape_contract
 from repro.gp.hyperopt import fit_hyperparameters
 from repro.gp.model import GaussianProcess
 from repro.gp.standardize import Standardizer
@@ -67,6 +68,7 @@ def _normalize(mse: FloatArray) -> FloatArray:
     return (mse - lo) / (hi - lo)
 
 
+@shape_contract("mse: a(k,)")
 def pick_flat_dimension(
     dims: Sequence[int], mse: ArrayLike, tolerance: float = 0.1
 ) -> int:
@@ -96,6 +98,7 @@ def pick_flat_dimension(
     return int(dims_arr[-1])  # pragma: no cover - loop always hits the minimum
 
 
+@shape_contract("X: a(n, D), y: a(n,) | a(n, 1)")
 def select_embedding_dimension(
     X: ArrayLike,
     y: ArrayLike,

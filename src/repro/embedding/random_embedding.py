@@ -17,10 +17,14 @@ import numpy as np
 from scipy.linalg import solve_triangular
 
 from repro._typing import ArrayLike, FloatArray
+from repro.utils.contracts import shape_contract
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import as_matrix, check_bounds, unit_cube_bounds
 
 
+@shape_contract(
+    "X: a(n, D) | a(D,), lower: a(D,), upper: a(D,) -> (n, D) | (D,)"
+)
 def clip_to_box(
     X: ArrayLike, lower: ArrayLike, upper: ArrayLike
 ) -> FloatArray:
@@ -91,6 +95,7 @@ class RandomEmbedding:
         d = self.embedded_dim
         return np.column_stack([-half * np.ones(d), half * np.ones(d)])
 
+    @shape_contract("Z: a(n, d) | a(d,) -> (n, D) | (D,)")
     def to_original(self, Z: ArrayLike) -> FloatArray:
         """Map embedded points to the variation space: ``x = p_Ω(A z)``.
 
@@ -111,6 +116,7 @@ class RandomEmbedding:
         X = Z_mat @ self.matrix.T
         return X[0] if single else X
 
+    @shape_contract("X: a(n, D) | a(D,) -> (n, d) | (d,)")
     def to_embedded(self, X: ArrayLike) -> FloatArray:
         """Map original-space points down via the pseudo-inverse (Eq. 12)."""
         X_arr = np.asarray(X, dtype=float)

@@ -10,6 +10,7 @@ import abc
 
 import numpy as np
 
+from repro.utils.contracts import shape_contract
 from repro.utils.validation import as_matrix
 
 
@@ -24,6 +25,7 @@ class MeanFunction(abc.ABC):
 class ZeroMean(MeanFunction):
     """The paper's default prior mean ``m(x) = 0``."""
 
+    @shape_contract("X: a(n, d) | a(d,) -> (n,)")
     def __call__(self, X: np.ndarray) -> np.ndarray:
         return np.zeros(as_matrix(X).shape[0])
 
@@ -34,5 +36,6 @@ class ConstantMean(MeanFunction):
     def __init__(self, value: float = 0.0) -> None:
         self.value = float(value)
 
+    @shape_contract("X: a(n, d) | a(d,) -> (n,)")
     def __call__(self, X: np.ndarray) -> np.ndarray:
         return np.full(as_matrix(X).shape[0], self.value)

@@ -21,6 +21,7 @@ from scipy.linalg import cho_solve, cholesky, solve_triangular
 from repro._typing import ArrayLike, FloatArray
 from repro.gp.mean import MeanFunction, ZeroMean
 from repro.kernels.base import Kernel, KernelWorkspace
+from repro.utils.contracts import shape_contract
 from repro.utils.validation import as_matrix, as_vector
 
 #: Diagonal jitter ladder tried when the Gram matrix is numerically singular.
@@ -36,6 +37,7 @@ except ImportError:  # pragma: no cover - scipy always ships lapack
     _potrf = _potrs = _potri = None
 
 
+@shape_contract("A: (n, n) -> (n, n)")
 def chol_with_jitter(A: np.ndarray) -> np.ndarray:
     """Lower Cholesky of ``A``, climbing the jitter ladder in place.
 
@@ -52,7 +54,8 @@ def chol_with_jitter(A: np.ndarray) -> np.ndarray:
             diag += jitter - added
             added = jitter
         try:
-            return cholesky(A, lower=True, check_finite=False)
+            # The jittered entry point itself.
+            return cholesky(A, lower=True, check_finite=False)  # numlint: disable=NL103
         except np.linalg.LinAlgError as exc:  # pragma: no cover - rare
             last_error = exc
     raise np.linalg.LinAlgError(
@@ -60,6 +63,7 @@ def chol_with_jitter(A: np.ndarray) -> np.ndarray:
     ) from last_error
 
 
+@shape_contract("chol: (n, n) -> (n, n)")
 def inv_from_cholesky(chol: np.ndarray) -> np.ndarray:
     """Full inverse ``A^{-1}`` from the lower Cholesky factor of ``A``.
 
@@ -267,7 +271,9 @@ class GaussianProcess:
         L21T = solve_triangular(self._chol, B, lower=True, check_finite=False)  # (n, k)
         S = C - L21T.T @ L21T
         try:
-            L22 = cholesky(S, lower=True, check_finite=False)
+            # Fail fast: a jittered retry would mask an ill-conditioned
+            # Schur complement that the exact-refit fallback handles better.
+            L22 = cholesky(S, lower=True, check_finite=False)  # numlint: disable=NL103
         except np.linalg.LinAlgError:
             return False
         L = np.zeros((n + k, n + k))

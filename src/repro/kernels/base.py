@@ -22,6 +22,7 @@ from typing import Any
 import numpy as np
 
 from repro._typing import ArrayLike, FloatArray
+from repro.utils.contracts import shape_contract
 from repro.utils.validation import as_matrix
 
 
@@ -148,6 +149,7 @@ class Kernel(abc.ABC):
         return ProductKernel(self, other)
 
 
+@shape_contract("X: a(n, d), Z: a(m, d), lengthscales: (*,) -> (n, m)")
 def pairwise_sq_dists(
     X: ArrayLike, Z: ArrayLike, lengthscales: FloatArray
 ) -> FloatArray:

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.kernels.base import Kernel, KernelWorkspace, pairwise_sq_dists
+from repro.utils.contracts import shape_contract
 from repro.utils.validation import as_matrix
 
 _SQRT3 = np.sqrt(3.0)
@@ -161,6 +162,10 @@ class StationaryKernel(Kernel):
         """
         return None
 
+    @shape_contract(
+        "sq: (n, n), g_out: (n, n), dg_out?: (n, n), scratch: (n, n)",
+        check_finite=False,  # out/scratch buffers hold uninitialized memory
+    )
     def _corr_into(
         self,
         sq: np.ndarray,
@@ -382,6 +387,10 @@ class Matern52(StationaryKernel):
         out /= den
         return out
 
+    @shape_contract(
+        "sq: (n, n), g_out: (n, n), dg_out?: (n, n), scratch: (n, n)",
+        check_finite=False,  # out/scratch buffers hold uninitialized memory
+    )
     def _corr_into(
         self,
         sq: np.ndarray,

@@ -10,8 +10,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._typing import ArrayLike, FloatArray
 
-def as_float_array(x, name: str = "x") -> np.ndarray:
+
+def as_float_array(x: ArrayLike, name: str = "x") -> FloatArray:
     """Convert ``x`` to a float64 ndarray, rejecting NaN/inf."""
     arr = np.asarray(x, dtype=float)
     if not np.all(np.isfinite(arr)):
@@ -19,7 +21,9 @@ def as_float_array(x, name: str = "x") -> np.ndarray:
     return arr
 
 
-def as_matrix(x, dim: int | None = None, name: str = "X") -> np.ndarray:
+def as_matrix(
+    x: ArrayLike, dim: int | None = None, name: str = "X"
+) -> FloatArray:
     """Normalize ``x`` to shape ``(n, dim)``.
 
     A 1-D vector is promoted to a single row.  If ``dim`` is given the
@@ -37,7 +41,9 @@ def as_matrix(x, dim: int | None = None, name: str = "X") -> np.ndarray:
     return arr
 
 
-def as_vector(y, length: int | None = None, name: str = "y") -> np.ndarray:
+def as_vector(
+    y: ArrayLike, length: int | None = None, name: str = "y"
+) -> FloatArray:
     """Normalize ``y`` to shape ``(n,)``, squeezing a trailing unit axis."""
     arr = as_float_array(y, name)
     if arr.ndim == 2 and arr.shape[1] == 1:
@@ -51,7 +57,9 @@ def as_vector(y, length: int | None = None, name: str = "y") -> np.ndarray:
     return arr
 
 
-def check_bounds(bounds, dim: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+def check_bounds(
+    bounds: ArrayLike, dim: int | None = None
+) -> tuple[FloatArray, FloatArray]:
     """Validate box bounds and return ``(lower, upper)`` float arrays.
 
     Accepts an ``(dim, 2)`` array-like of per-coordinate ``(lo, hi)`` pairs
@@ -79,7 +87,7 @@ def check_bounds(bounds, dim: int | None = None) -> tuple[np.ndarray, np.ndarray
     return lower.copy(), upper.copy()
 
 
-def unit_cube_bounds(dim: int) -> np.ndarray:
+def unit_cube_bounds(dim: int) -> FloatArray:
     """Return the ``[-1, 1]^dim`` bounds array used for variation spaces."""
     if dim < 1:
         raise ValueError(f"dim must be >= 1, got {dim}")

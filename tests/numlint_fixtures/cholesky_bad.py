@@ -1,0 +1,12 @@
+"""Raw Cholesky factorizations that must route through chol_with_jitter."""
+
+import numpy as np
+import scipy.linalg
+
+
+def factor(K):
+    return scipy.linalg.cholesky(K, lower=True)  # NL103 under repro/gp/
+
+
+def factor_numpy(K):
+    return np.linalg.cholesky(K)  # NL103 under repro/gp/

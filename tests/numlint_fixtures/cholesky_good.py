@@ -1,0 +1,14 @@
+"""Cholesky usage the NL103 rule must accept inside repro/gp/."""
+
+import scipy.linalg
+
+from repro.gp.model import chol_with_jitter
+
+
+def factor(K):
+    return chol_with_jitter(K)
+
+
+def deliberate(K):
+    # a deliberate fail-fast factorization carries an inline suppression
+    return scipy.linalg.cholesky(K, lower=True)  # numlint: disable=NL103

@@ -1,0 +1,27 @@
+"""A contracted module with an uncontracted public array API (NL530)."""
+
+import numpy as np
+
+from repro._typing import FloatArray
+from repro.utils.contracts import shape_contract
+
+
+@shape_contract("X: (n, d) -> (n,)")
+def contracted(X: FloatArray) -> FloatArray:
+    return X.sum(axis=1)
+
+
+def uncontracted(X: FloatArray) -> FloatArray:  # NL530
+    return X * 2.0
+
+
+def returns_array(scale: float) -> np.ndarray:  # NL530
+    return np.ones(3) * scale
+
+
+def _private(X: FloatArray) -> FloatArray:  # private: exempt
+    return X
+
+
+def untyped_public(x):  # no array annotation: exempt
+    return x

@@ -1,0 +1,24 @@
+"""A contracted module whose public array APIs all carry contracts."""
+
+import numpy as np
+
+from repro._typing import FloatArray
+from repro.utils.contracts import shape_contract
+
+
+@shape_contract("X: (n, d) -> (n,)")
+def contracted(X: FloatArray) -> FloatArray:
+    return X.sum(axis=1)
+
+
+@shape_contract("-> (3,)")
+def make(scale: float) -> np.ndarray:
+    return np.ones(3) * scale
+
+
+def opted_out(X: FloatArray) -> FloatArray:  # numlint: disable=NL530
+    return X
+
+
+def _private(X: FloatArray) -> FloatArray:
+    return X

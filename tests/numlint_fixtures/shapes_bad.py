@@ -1,0 +1,45 @@
+"""Violations for the shape-contracts pass (NL501/502/510/511/520)."""
+
+import numpy as np
+
+from repro.utils.contracts import shape_contract
+
+SPEC = "X: (n, d)"
+
+
+@shape_contract(SPEC)  # NL501: spec is not a string literal
+def nonliteral(X):
+    return X
+
+
+@shape_contract("X (n, d)")  # NL501: missing colon, does not parse
+def malformed(X):
+    return X
+
+
+@shape_contract("Y: (n, d)")  # NL502: Y is not a parameter
+def unknown_name(X):
+    return X
+
+
+@shape_contract("A: (n, d), B: (m, k) -> (n, k)")
+def bad_matmul(A, B):
+    return A @ B  # NL510: inner dims d and m are rigid and distinct
+
+
+@shape_contract("X: (n, d), y: (m,) -> (n,)")
+def bad_return(X, y):
+    return y  # NL511: (m,) where the contract declares (n,)
+
+
+@shape_contract("X: (n, d), A: (D, d) -> (n, D)")
+def reverse_map(X, A):
+    return X @ A.T
+
+
+@shape_contract("X: (n, d), A: (D, d)")
+def bad_call(X, A):
+    # NL520: passes (d, D) where the callee declares (D, d), forcing the
+    # caller's d and D to coincide — the interprocedural mismatch no
+    # per-statement pass can see
+    return reverse_map(X, A.T)

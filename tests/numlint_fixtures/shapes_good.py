@@ -1,0 +1,40 @@
+"""Clean shape-contract usage: the NL5xx passes must stay silent."""
+
+import numpy as np
+
+from repro.utils.contracts import shape_contract
+
+
+@shape_contract("X: (n, d), A: (D, d) -> (n, D)")
+def reverse_map(X, A):
+    return X @ A.T
+
+
+@shape_contract("X: a(n, D) | a(D,), lower: a(D,), upper: a(D,)")
+def clip(X, lower, upper):
+    return np.clip(np.asarray(X, dtype=float), lower, upper)
+
+
+@shape_contract("theta: a(p,) -> (), (p,)")
+def value_and_grad(theta):
+    theta = np.asarray(theta, dtype=float)
+    return float(theta.sum()), 2.0 * theta
+
+
+@shape_contract("n_init: n, d_dim: d -> (n, d)")
+def initial_design(n_init, d_dim):
+    return np.zeros((n_init, d_dim))
+
+
+@shape_contract("X: (n, d), A: (D, d) -> (n, D)")
+def good_call(X, A):
+    # interprocedural call with consistent symbolic shapes
+    return reverse_map(X, A)
+
+
+@shape_contract("K: (n, n), v: (n,) -> (n,)")
+def solve_like(K, v):
+    out = K @ v
+    for _ in range(2):
+        out = K @ out
+    return out

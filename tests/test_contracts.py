@@ -1,0 +1,269 @@
+"""Tests for the shape-contract layer (runtime half + grammar cross-check).
+
+``apply_contract`` is exercised directly so validation runs regardless of
+the ``REPRO_SANITIZE`` gate; the gate itself is covered by spawning fresh
+interpreters with the environment variable set/unset.  The grammar is
+implemented twice — ``repro.utils.contracts`` (runtime) and
+``tools.numlint.shapes`` (static) — so a shared corpus pins them to each
+other.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.utils import contracts as runtime
+from repro.utils.contracts import (
+    ContractParseError,
+    ShapeContractError,
+    apply_contract,
+    parse_contract,
+)
+from tools.numlint import shapes as static
+
+
+# -- grammar -----------------------------------------------------------------
+
+#: Specs every implementation must accept, with the structure they parse to.
+VALID_SPECS = [
+    "X: (n, d)",
+    "X: (n, d), A: (D, d) -> (n, D)",
+    "X: a(n, D) | a(D,), lower: a(D,), upper: a(D,) -> (n, D) | (D,)",
+    "theta: a(p,) -> (), (p,)",
+    "batch_size: n -> (n,)",
+    "-> (60,)",
+    "out?: i(n, 3)",
+    "M: (2, 3), v: (*,)",
+]
+
+INVALID_SPECS = [
+    "",
+    "   ",
+    "X (n, d)",  # missing colon
+    "X: (n, d", # unclosed paren
+    "X: (n, d)) ",  # trailing garbage
+    "X: (n, d), X: (m,)",  # duplicate parameter
+    "X: (n, 2x)",  # malformed dimension
+    "-> n",  # scalar symbol in return position
+    "x: (n,),",  # trailing comma after the parameter list
+]
+
+
+def _normalize(contract):
+    """Project either implementation's parse tree onto plain tuples."""
+
+    def alt(a):
+        if hasattr(a, "dims"):
+            return ("array", a.dtype, tuple(a.dims))
+        return ("scalar", a.symbol)
+
+    return (
+        tuple(
+            (p.name, p.optional, tuple(alt(a) for a in p.alternatives))
+            for p in contract.params
+        ),
+        tuple(tuple(alt(a) for a in ret) for ret in contract.returns),
+    )
+
+
+class TestGrammarCrossCheck:
+    @pytest.mark.parametrize("spec", VALID_SPECS)
+    def test_both_parsers_agree(self, spec):
+        assert _normalize(parse_contract(spec)) == _normalize(
+            static.parse_contract(spec)
+        )
+
+    @pytest.mark.parametrize("spec", INVALID_SPECS)
+    def test_both_parsers_reject(self, spec):
+        with pytest.raises(ContractParseError):
+            parse_contract(spec)
+        with pytest.raises(static.ContractParseError):
+            static.parse_contract(spec)
+
+    def test_default_dtype_is_float(self):
+        contract = parse_contract("X: (n,)")
+        assert contract.params[0].alternatives[0].dtype == "f"
+
+
+# -- runtime validation ------------------------------------------------------
+
+
+class TestApplyContract:
+    def test_accepts_matching_shapes(self):
+        @lambda f: apply_contract(f, "X: (n, d), A: (D, d) -> (n, D)")
+        def reverse_map(X, A):
+            return X @ A.T
+
+        out = reverse_map(np.ones((4, 3)), np.ones((10, 3)))
+        assert out.shape == (4, 10)
+
+    def test_symbol_unification_across_arguments(self):
+        @lambda f: apply_contract(f, "X: (n, d), A: (D, d) -> (n, D)")
+        def reverse_map(X, A):
+            return X @ A.T
+
+        with pytest.raises(ShapeContractError, match="A does not satisfy"):
+            # inner dimensions disagree: d binds to 3 then A arrives with 5
+            reverse_map(np.ones((4, 3)), np.ones((10, 5)))
+
+    def test_return_shape_checked_against_bindings(self):
+        @lambda f: apply_contract(f, "X: (n, d) -> (n,)")
+        def broken(X):
+            return np.zeros(X.shape[0] + 1)
+
+        with pytest.raises(ShapeContractError, match="return"):
+            broken(np.ones((4, 3)))
+
+    def test_tuple_return(self):
+        @lambda f: apply_contract(f, "theta: (p,) -> (), (p,)")
+        def value_and_grad(theta):
+            return float(theta.sum()), theta * 2.0
+
+        value, grad = value_and_grad(np.ones(3))
+        assert value == 3.0 and grad.shape == (3,)
+
+        @lambda f: apply_contract(f, "theta: (p,) -> (), (p,)")
+        def wrong_arity(theta):
+            return float(theta.sum())
+
+        with pytest.raises(ShapeContractError, match="2-tuple"):
+            wrong_arity(np.ones(3))
+
+    def test_alternatives_allow_vector_or_batch(self):
+        @lambda f: apply_contract(f, "X: a(n, D) | a(D,) -> (n, D) | (D,)")
+        def identity(X):
+            return np.asarray(X, dtype=float)
+
+        assert identity(np.ones((5, 2))).shape == (5, 2)
+        assert identity(np.ones(2)).shape == (2,)
+        with pytest.raises(ShapeContractError):
+            identity(np.ones((5, 2, 2)))
+
+    def test_scalar_symbol_binds_into_returns(self):
+        @lambda f: apply_contract(f, "k: n -> (n,)")
+        def make(k):
+            return np.zeros(k + 1)
+
+        with pytest.raises(ShapeContractError, match="return"):
+            make(3)
+
+    def test_dtype_classes(self):
+        @lambda f: apply_contract(f, "idx: i(n,)")
+        def take(idx):
+            return idx
+
+        take(np.arange(3))
+        with pytest.raises(ShapeContractError, match="dtype"):
+            take(np.ones(3))  # float where an integer class is declared
+
+        @lambda f: apply_contract(f, "X: (n,)")
+        def strict_float(X):
+            return X
+
+        with pytest.raises(ShapeContractError, match="dtype"):
+            strict_float(np.arange(3))  # int where float64 is declared
+
+    def test_nan_tripwire_and_opt_out(self):
+        @lambda f: apply_contract(f, "X: (n,)")
+        def checked(X):
+            return X
+
+        with pytest.raises(ShapeContractError, match="non-finite"):
+            checked(np.array([1.0, np.nan]))
+
+        @lambda f: apply_contract(f, "X: (n,)", check_finite=False)
+        def unchecked(X):
+            return X
+
+        unchecked(np.array([1.0, np.nan]))
+
+    def test_optional_param(self):
+        @lambda f: apply_contract(f, "X: (n,), out?: (n,)")
+        def f(X, out=None):
+            return None
+
+        f(np.ones(3))
+        f(np.ones(3), out=np.empty(3))
+
+        @lambda f: apply_contract(f, "X: (n,), out: (n,)")
+        def g(X, out=None):
+            return None
+
+        with pytest.raises(ShapeContractError, match="None"):
+            g(np.ones(3), out=None)
+
+    def test_out_buffer_aliasing_guard(self):
+        @lambda f: apply_contract(f, "X: (n,), out: (n,)")
+        def guarded(X, out):
+            return None
+
+        buf = np.ones(4)
+        with pytest.raises(ShapeContractError, match="aliases"):
+            guarded(buf, out=buf[:])
+
+        @lambda f: apply_contract(
+            f, "X: (n,), out: (n,)", allow_aliasing=True
+        )
+        def tolerant(X, out):
+            return None
+
+        tolerant(buf, out=buf[:])
+
+    def test_unknown_contract_name_rejected_at_decoration(self):
+        with pytest.raises(ContractParseError, match="not in"):
+            apply_contract(lambda X: X, "Y: (n,)")
+
+    def test_wrapper_exposes_contract(self):
+        wrapped = apply_contract(lambda X: X, "X: (n,)")
+        assert wrapped.__shape_contract__.param_names == ("X",)
+
+
+# -- the REPRO_SANITIZE gate -------------------------------------------------
+
+
+def _probe(env_value: str | None) -> str:
+    """Report decorator behaviour from a fresh interpreter."""
+    code = (
+        "from repro.utils.contracts import shape_contract\n"
+        "def f(X):\n"
+        "    return X\n"
+        "g = shape_contract('X: (n,)')(f)\n"
+        "print('identity' if g is f else 'wrapped')\n"
+    )
+    import os
+
+    env = dict(os.environ, PYTHONPATH="src")
+    env.pop("REPRO_SANITIZE", None)
+    if env_value is not None:
+        env["REPRO_SANITIZE"] = env_value
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(__import__("pathlib").Path(__file__).resolve().parent.parent),
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout.strip()
+
+
+class TestSanitizeGate:
+    def test_decorator_is_identity_when_off(self):
+        assert _probe(None) == "identity"
+        assert _probe("0") == "identity"
+
+    def test_decorator_wraps_when_on(self):
+        assert _probe("1") == "wrapped"
+
+    def test_sanitize_enabled_reflects_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert not runtime.sanitize_enabled()
+        for value in ("1", "true", "YES", " on "):
+            monkeypatch.setenv("REPRO_SANITIZE", value)
+            assert runtime.sanitize_enabled()
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        assert not runtime.sanitize_enabled()

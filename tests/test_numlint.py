@@ -149,6 +149,104 @@ class TestNondeterminism:
         )
 
 
+class TestCholeskyDiscipline:
+    def test_nl103_fires_in_gp_modules(self):
+        found = codes(lint_fixture("cholesky_bad.py", "linalg-safety", HOT_PATH))
+        assert found == ["NL103", "NL103"]
+
+    def test_nl103_scoped_to_gp_path(self):
+        assert (
+            lint_fixture("cholesky_bad.py", "linalg-safety", LIBRARY_PATH) == []
+        )
+
+    def test_jittered_helper_and_suppression_pass(self):
+        assert lint_fixture("cholesky_good.py", "linalg-safety", HOT_PATH) == []
+
+    def test_tests_are_exempt(self):
+        assert (
+            lint_fixture("cholesky_bad.py", "linalg-safety", relpath=TEST_PATH)
+            == []
+        )
+
+
+class TestShapeContracts:
+    def test_fires_on_bad(self):
+        found = codes(lint_fixture("shapes_bad.py", "shape-contracts"))
+        assert found == [
+            "NL501",  # non-literal spec
+            "NL501",  # malformed spec
+            "NL502",  # name missing from the signature
+            "NL510",  # matmul inner-dimension conflict
+            "NL511",  # return shape cannot unify
+            "NL520",  # interprocedural call-site mismatch
+        ]
+
+    def test_silent_on_good(self):
+        assert lint_fixture("shapes_good.py", "shape-contracts") == []
+
+    def test_tests_are_exempt(self):
+        assert (
+            lint_fixture("shapes_bad.py", "shape-contracts", relpath=TEST_PATH)
+            == []
+        )
+
+    def test_cross_module_mismatch(self, tmp_path):
+        """NL520 across files: the callee's contract lives in another module."""
+        pkg = tmp_path / "src" / "pkg"
+        pkg.mkdir(parents=True)
+        (pkg / "__init__.py").write_text("", encoding="utf-8")
+        (pkg / "callee.py").write_text(
+            "from repro.utils.contracts import shape_contract\n"
+            "\n"
+            "@shape_contract('X: (n, d), A: (D, d) -> (n, D)')\n"
+            "def reverse_map(X, A):\n"
+            "    return X @ A.T\n",
+            encoding="utf-8",
+        )
+        (pkg / "caller.py").write_text(
+            "from pkg.callee import reverse_map\n"
+            "from repro.utils.contracts import shape_contract\n"
+            "\n"
+            "@shape_contract('X: (n, d), A: (D, d)')\n"
+            "def bad(X, A):\n"
+            "    return reverse_map(X, A.T)\n"
+            "\n"
+            "@shape_contract('X: (n, d), A: (D, d)')\n"
+            "def good(X, A):\n"
+            "    return reverse_map(X, A)\n",
+            encoding="utf-8",
+        )
+        findings = run_paths(["src"], tmp_path, [get_pass("shape-contracts")])
+        assert [(f.code, Path(f.relpath).name) for f in findings] == [
+            ("NL520", "caller.py")
+        ]
+
+
+class TestContractRollout:
+    def test_fires_on_uncontracted_public_array_function(self):
+        found = codes(lint_fixture("rollout_bad.py", "contract-rollout"))
+        assert found == ["NL530", "NL530"]
+
+    def test_silent_on_good(self):
+        assert lint_fixture("rollout_good.py", "contract-rollout") == []
+
+    def test_uncontracted_modules_are_not_in_scope(self):
+        # a module that never imports shape_contract has not opted in
+        ctx = FileContext(
+            LIBRARY_PATH,
+            "import numpy as np\n"
+            "def f(X: np.ndarray) -> np.ndarray:\n"
+            "    return X\n",
+        )
+        assert run_passes_on_context(ctx, [get_pass("contract-rollout")]) == []
+
+    def test_tests_are_exempt(self):
+        assert (
+            lint_fixture("rollout_bad.py", "contract-rollout", relpath=TEST_PATH)
+            == []
+        )
+
+
 class TestSuppression:
     def test_inline_disable(self):
         found = codes(lint_fixture("suppressed.py", "linalg-safety"))
@@ -166,6 +264,8 @@ class TestFramework:
             "out-buffer",
             "dtype-hygiene",
             "nondeterminism",
+            "shape-contracts",
+            "contract-rollout",
         }
 
     def test_syntax_error_reported_not_raised(self):
@@ -246,14 +346,16 @@ class TestBaseline:
 
 class TestRepoSelfCheck:
     def test_repo_clean_against_committed_baseline(self):
-        findings = run_paths(["src", "benchmarks", "tests"], REPO_ROOT)
+        findings = run_paths(
+            ["src", "benchmarks", "tests", "examples"], REPO_ROOT
+        )
         baseline = load_baseline(REPO_ROOT / "tools" / "numlint" / "baseline.json")
         new, _, stale = split_findings(findings, baseline)
         rendered = "\n".join(f.render() for f in new)
         assert new == [], f"new numlint findings:\n{rendered}"
         assert stale == [], (
             "stale baseline entries; run "
-            "`python -m tools.numlint src benchmarks tests --update-baseline`"
+            "`python -m tools.numlint --update-baseline`"
         )
 
     def test_fixture_directory_is_excluded_from_walks(self):
@@ -271,7 +373,7 @@ class TestCli:
         )
 
     def test_repo_exits_zero(self):
-        proc = self._run("src", "benchmarks", "tests")
+        proc = self._run()
         assert proc.returncode == 0, proc.stdout + proc.stderr
 
     def test_bad_file_exits_one_with_json(self, tmp_path):

@@ -1,0 +1,85 @@
+"""Tests for the opt-in process-pool fan-out in repro.utils.parallel."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.utils.parallel import parallel_map, resolve_n_jobs
+
+
+# Worker functions must live at module level so they pickle under the
+# spawn start method as well as fork.
+def _square(x):
+    return x * x
+
+
+def _maybe_fail(x):
+    if x == 3:
+        raise ValueError(f"task {x} failed")
+    return x
+
+
+class TestResolveNJobs:
+    def test_explicit_positive_passes_through(self):
+        assert resolve_n_jobs(1) == 1
+        assert resolve_n_jobs(7) == 7
+
+    @pytest.mark.parametrize("n_jobs", [None, 0, -1, -8])
+    def test_none_zero_negative_mean_all_cores(self, n_jobs):
+        assert resolve_n_jobs(n_jobs) == (os.cpu_count() or 1)
+
+
+class TestParallelMap:
+    TASKS = list(range(10))
+
+    def test_sequential_matches_comprehension(self):
+        assert parallel_map(_square, self.TASKS, n_jobs=1) == [
+            t * t for t in self.TASKS
+        ]
+
+    def test_parallel_preserves_task_order(self):
+        # bit-for-bit match with the sequential path is the module's
+        # reproducibility contract
+        assert parallel_map(_square, self.TASKS, n_jobs=4) == [
+            t * t for t in self.TASKS
+        ]
+
+    def test_accepts_any_iterable(self):
+        assert parallel_map(_square, iter(self.TASKS), n_jobs=2) == [
+            t * t for t in self.TASKS
+        ]
+
+    def test_empty_task_list(self):
+        assert parallel_map(_square, [], n_jobs=4) == []
+
+    def test_single_task_stays_in_process(self, monkeypatch):
+        import repro.utils.parallel as par
+
+        def _boom(*args, **kwargs):
+            raise AssertionError("a pool was spawned for one task")
+
+        monkeypatch.setattr(par, "ProcessPoolExecutor", _boom)
+        assert parallel_map(_square, [5], n_jobs=4) == [25]
+
+    @pytest.mark.parametrize("n_jobs", [1, 3])
+    def test_worker_exception_propagates(self, n_jobs):
+        with pytest.raises(ValueError, match="task 3 failed"):
+            parallel_map(_maybe_fail, self.TASKS, n_jobs=n_jobs)
+
+    def test_worker_count_capped_by_task_count(self, monkeypatch):
+        import repro.utils.parallel as par
+
+        seen: dict[str, int] = {}
+        real_pool = par.ProcessPoolExecutor
+
+        class RecordingPool(real_pool):
+            def __init__(self, max_workers=None, **kwargs):
+                seen["max_workers"] = max_workers
+                super().__init__(max_workers=max_workers, **kwargs)
+
+        monkeypatch.setattr(par, "ProcessPoolExecutor", RecordingPool)
+        result = parallel_map(_square, [1, 2, 3], n_jobs=64)
+        assert result == [1, 4, 9]
+        assert seen["max_workers"] == 3

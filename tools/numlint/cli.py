@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import shutil
 import subprocess
 import sys
@@ -16,10 +17,10 @@ from pathlib import Path
 from typing import Sequence
 
 from tools.numlint.baseline import load_baseline, save_baseline, split_findings
-from tools.numlint.core import run_paths
+from tools.numlint.core import Finding, run_paths
 from tools.numlint.passes import all_passes, get_pass
 
-DEFAULT_PATHS = ("src", "benchmarks", "tests")
+DEFAULT_PATHS = ("src", "benchmarks", "tests", "examples")
 DEFAULT_BASELINE = Path("tools") / "numlint" / "baseline.json"
 
 
@@ -75,9 +76,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
-        default="text",
-        help="output format (default: text)",
+        choices=("text", "json", "github"),
+        default=None,
+        help="output format (default: text; 'github' emits workflow-command "
+        "annotations and is auto-selected when GITHUB_ACTIONS is set)",
     )
     parser.add_argument(
         "--list-passes",
@@ -96,6 +98,22 @@ def build_parser() -> argparse.ArgumentParser:
         "notice otherwise)",
     )
     return parser
+
+
+def _github_escape(text: str) -> str:
+    """Escape a message for a GitHub Actions workflow command."""
+    return (
+        text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def _render_github(finding: Finding) -> str:
+    """A ``::error`` annotation GitHub attaches to the PR diff line."""
+    return (
+        f"::error file={finding.relpath},line={finding.line},"
+        f"col={finding.col + 1},title={finding.code}"
+        f"::{_github_escape(finding.message)} [{finding.pass_name}]"
+    )
 
 
 def _list_passes() -> int:
@@ -161,7 +179,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     baseline = {} if args.no_baseline else load_baseline(baseline_path)
     new, baselined, stale = split_findings(findings, baseline)
 
-    if args.format == "json":
+    output_format = args.format
+    if output_format is None:
+        output_format = (
+            "github" if os.environ.get("GITHUB_ACTIONS") else "text"
+        )
+
+    if output_format == "json":
         print(
             json.dumps(
                 {
@@ -171,6 +195,12 @@ def main(argv: Sequence[str] | None = None) -> int:
                 },
                 indent=2,
             )
+        )
+    elif output_format == "github":
+        for finding in new:
+            print(_render_github(finding))
+        print(
+            f"numlint: {len(new)} new finding(s), {len(baselined)} baselined"
         )
     else:
         for finding in new:

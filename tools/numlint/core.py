@@ -171,6 +171,20 @@ class FileContext:
         """The float64 numerical core targeted by the dtype-hygiene pass."""
         return any(frag in self.relpath for frag in HOT_PATH_FRAGMENTS)
 
+    @property
+    def module_name(self) -> str:
+        """Dotted module path (``src/repro/gp/model.py`` → ``repro.gp.model``).
+
+        Files outside an importable tree still get a deterministic dotted
+        name derived from the relpath, so contract indexing stays total.
+        """
+        parts = list(Path(self.relpath).with_suffix("").parts)
+        if parts and parts[0] == "src":
+            parts = parts[1:]
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts)
+
     # -- helpers for passes -------------------------------------------------
 
     def qualified(self, node: ast.AST) -> str | None:
@@ -224,6 +238,15 @@ class LintPass(abc.ABC):
     def run(self, ctx: FileContext) -> Iterable[Finding]:
         """Yield findings for one file."""
 
+    def prepare(self, contexts: Sequence[FileContext]) -> None:
+        """Called once with every file context before the per-file runs.
+
+        Interprocedural passes override this to build cross-file state (a
+        contract index, a call graph); the default is a no-op.  When a pass
+        is run standalone on a single context (fixture tests), ``prepare``
+        may never be called — such passes must degrade to per-file scope.
+        """
+
     def emit(
         self, ctx: FileContext, node: ast.AST, code: str, message: str
     ) -> Finding:
@@ -263,7 +286,24 @@ def run_passes_on_context(
     passes: Sequence[LintPass],
     select: Sequence[str] | None = None,
 ) -> list[Finding]:
-    """Run ``passes`` over one parsed file, honoring inline suppressions."""
+    """Run ``passes`` over one parsed file, honoring inline suppressions.
+
+    Standalone (single-file) entry point: passes are prepared with just
+    this context, so cross-file state from an earlier ``run_paths`` call
+    on the same pass instances cannot leak in.  ``run_paths`` prepares
+    with the full file set itself and calls :func:`_collect_findings`
+    directly.
+    """
+    for lint_pass in passes:
+        lint_pass.prepare([ctx])
+    return _collect_findings(ctx, passes, select=select)
+
+
+def _collect_findings(
+    ctx: FileContext,
+    passes: Sequence[LintPass],
+    select: Sequence[str] | None = None,
+) -> list[Finding]:
     findings: list[Finding] = []
     if ctx.parse_error is not None:
         findings.append(
@@ -301,10 +341,15 @@ def run_paths(
     from tools.numlint.passes import all_passes
 
     active = list(passes) if passes is not None else all_passes()
+    contexts = [
+        FileContext.from_path(path, root)
+        for path in iter_python_files(paths, root)
+    ]
+    for lint_pass in active:
+        lint_pass.prepare(contexts)
     findings: list[Finding] = []
-    for path in iter_python_files(paths, root):
-        ctx = FileContext.from_path(path, root)
-        findings.extend(run_passes_on_context(ctx, active, select=select))
+    for ctx in contexts:
+        findings.extend(_collect_findings(ctx, active, select=select))
     findings.sort(key=lambda f: (f.relpath, f.line, f.col, f.code))
     return findings
 

@@ -44,11 +44,13 @@ def registry() -> dict[str, type[LintPass]]:
 
 # Builtin passes register on import.
 from tools.numlint.passes import (  # noqa: E402,F401
+    contract_rollout,
     dtype_hygiene,
     linalg_safety,
     nondeterminism,
     out_buffer,
     rng_discipline,
+    shape_contracts,
 )
 
 __all__ = ["register", "get_pass", "all_passes", "registry"]

@@ -14,6 +14,12 @@ whose accuracy the dimension-selection procedure depends on.
   ``E @ E.T`` flavor).  Forming the Gram product squares the condition
   number: a matrix with ``cond(E) = 1e8`` becomes numerically singular.
   Use ``np.linalg.lstsq`` or a QR factorization.
+* **NL103** — a direct ``scipy.linalg.cholesky`` / ``numpy.linalg.cholesky``
+  call inside ``src/repro/gp/``.  Covariance factorizations there must go
+  through ``repro.gp.model.chol_with_jitter`` so every solve shares the
+  single retry/jitter entry point; the helper itself (and the deliberate
+  fail-fast Schur-complement factorization in the incremental update)
+  carries an inline suppression.
 
 Scope: library and benchmark code.  Tests are exempt so reference
 implementations can compare against the naive formulas.
@@ -36,6 +42,12 @@ _SOLVE_FUNCTIONS = frozenset(
         "scipy.linalg.lstsq",
     }
 )
+_CHOLESKY_FUNCTIONS = frozenset(
+    {"scipy.linalg.cholesky", "numpy.linalg.cholesky"}
+)
+#: Path fragment where raw Cholesky calls must route through the jittered
+#: helper in ``repro.gp.model``.
+_GP_FRAGMENT = "repro/gp/"
 
 
 def _gram_product_base(node: ast.AST) -> ast.AST | None:
@@ -62,6 +74,7 @@ class LinalgSafetyPass(LintPass):
     codes = {
         "NL101": "explicit matrix inverse (np.linalg.inv / scipy.linalg.inv)",
         "NL102": "normal-equation solve(E.T @ E, ...) squares the condition number",
+        "NL103": "raw cholesky in repro/gp/ outside chol_with_jitter",
     }
 
     def run(self, ctx: FileContext) -> Iterable[Finding]:
@@ -96,3 +109,14 @@ class LinalgSafetyPass(LintPass):
                         "amplifies round-off; use np.linalg.lstsq"
                         f"({base_src}, ...) or a QR factorization",
                     )
+                    continue
+            if qual in _CHOLESKY_FUNCTIONS and _GP_FRAGMENT in ctx.relpath:
+                yield self.emit(
+                    ctx,
+                    node,
+                    "NL103",
+                    f"direct {qual} in repro/gp/; factorize through "
+                    "repro.gp.model.chol_with_jitter so the retry/jitter "
+                    "policy applies (inline-suppress deliberate fail-fast "
+                    "sites)",
+                )

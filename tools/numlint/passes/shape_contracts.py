@@ -1,0 +1,321 @@
+"""Shapelint: interprocedural checking of ``@shape_contract`` annotations.
+
+The contract grammar (DESIGN.md §9) declares symbolic shapes for array
+arguments and returns; this pass parses every contract in the analyzed
+file set during :meth:`prepare`, seeds a symbolic environment from each
+contracted function's own contract, and runs abstract interpretation over
+the numpy expressions in every function body (``tools.numlint.shapes``).
+
+* **NL501** — a malformed contract: the spec string does not parse, or is
+  not a string literal (static analysis needs the literal).
+* **NL502** — the contract names a parameter that is not in the function's
+  signature.
+* **NL510** — an intraprocedural shape conflict: an operation inside a
+  contracted function forces two rigid dimension symbols to coincide
+  (matmul inner-dimension mismatch ``(n, d) @ (D, m)``) or combines
+  incompatible literal sizes.
+* **NL511** — a ``return`` expression whose inferred shape cannot unify
+  with any declared return alternative.
+* **NL520** — an *interprocedural* mismatch: a call site passes arrays
+  whose caller-side symbolic shapes cannot jointly unify with the callee's
+  declared parameter shapes (e.g. the callee declares ``X: (n, d),
+  A: (D, d)`` and the caller passes ``(n, D)``-shaped data with a
+  ``(D, d)`` matrix, forcing ``d == D``).
+
+Symbols are rigid per contract namespace: distinct symbols are assumed to
+vary independently, so anything forcing them equal is a finding.  Scope:
+library, benchmark and example code; tests are exempt (they pass bad
+shapes on purpose to assert error paths).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Sequence
+
+from tools.numlint.core import FileContext, Finding, LintPass
+from tools.numlint.passes import register
+from tools.numlint.shapes import (
+    ArrayShape,
+    ContractInfo,
+    ContractParseError,
+    ScalarDim,
+    ShapeInferencer,
+    collect_returns,
+    contract_decorator,
+    decorator_spec,
+    parse_contract,
+    render_shape,
+    signature_names,
+)
+
+
+def build_contract_index(
+    contexts: Sequence[FileContext],
+) -> dict[str, ContractInfo]:
+    """Index every parseable contract by the defining module's dotted name.
+
+    Only module-level functions are indexed — method call sites resolve
+    through instance attributes the alias map cannot see — but methods
+    still get the intraprocedural NL51x checks in :meth:`run`.
+    """
+    index: dict[str, ContractInfo] = {}
+    for ctx in contexts:
+        if ctx.parse_error is not None:
+            continue
+        for node in ctx.tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            dec = contract_decorator(node, ctx.qualified)
+            if dec is None:
+                continue
+            spec = decorator_spec(dec)
+            if spec is None:
+                continue
+            try:
+                contract = parse_contract(spec)
+            except ContractParseError:
+                continue  # reported as NL501 by the per-file run
+            info = ContractInfo(
+                name=node.name,
+                module=ctx.module_name,
+                contract=contract,
+                arg_names=tuple(signature_names(node)),
+                has_varargs=node.args.vararg is not None
+                or node.args.kwarg is not None,
+                relpath=ctx.relpath,
+                lineno=node.lineno,
+            )
+            index[info.qualname] = info
+    return index
+
+
+@register
+class ShapeContractPass(LintPass):
+    name = "shape-contracts"
+    description = (
+        "parse @shape_contract annotations and run interprocedural "
+        "symbolic shape inference over numpy expressions"
+    )
+    codes = {
+        "NL501": "malformed @shape_contract spec (must be a parseable "
+        "string literal)",
+        "NL502": "contract names a parameter missing from the signature",
+        "NL510": "shape conflict inside a contracted function (rigid "
+        "dimension symbols forced equal)",
+        "NL511": "return shape cannot unify with the declared contract",
+        "NL520": "call-site shapes conflict with the callee's contract",
+    }
+
+    def __init__(self) -> None:
+        self._index: dict[str, ContractInfo] | None = None
+
+    def prepare(self, contexts: Sequence[FileContext]) -> None:
+        self._index = build_contract_index(contexts)
+
+    def run(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.is_test:
+            return
+        index = (
+            self._index
+            if self._index is not None
+            else build_contract_index([ctx])
+        )
+
+        def lookup(qual: str) -> ContractInfo | None:
+            # Bare same-module calls resolve against the current module
+            # first; imported names arrive fully qualified via the alias map.
+            info = index.get(f"{ctx.module_name}.{qual}")
+            if info is not None:
+                return info
+            return index.get(qual)
+
+        for node, class_name in _iter_functions(ctx.tree):
+            yield from self._check_function(ctx, node, class_name, lookup)
+        yield from self._check_module_level(ctx, lookup)
+
+    # -- per-function -------------------------------------------------------
+
+    def _check_function(
+        self,
+        ctx: FileContext,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        class_name: str | None,
+        lookup,
+    ) -> Iterator[Finding]:
+        dec = contract_decorator(node, ctx.qualified)
+        contract = None
+        if dec is not None:
+            spec = decorator_spec(dec)
+            if spec is None:
+                yield self.emit(
+                    ctx,
+                    dec,
+                    "NL501",
+                    f"{node.name}: @shape_contract spec must be a string "
+                    "literal so it can be checked statically",
+                )
+            else:
+                try:
+                    contract = parse_contract(spec)
+                except ContractParseError as exc:
+                    yield self.emit(
+                        ctx, dec, "NL501", f"{node.name}: {exc}"
+                    )
+        env: dict = {}
+        symbols: set[str] = set()
+        if contract is not None:
+            known = set(signature_names(node))
+            unknown = sorted(set(contract.param_names) - known)
+            if unknown:
+                yield self.emit(
+                    ctx,
+                    dec if dec is not None else node,
+                    "NL502",
+                    f"{node.name}: contract names {unknown} not in the "
+                    f"signature {sorted(known)}",
+                )
+                contract = None
+        if contract is not None:
+            for param in contract.params:
+                arrays = [
+                    a for a in param.alternatives if isinstance(a, ArrayShape)
+                ]
+                scalars = [
+                    a for a in param.alternatives if isinstance(a, ScalarDim)
+                ]
+                for alt in arrays:
+                    symbols.update(
+                        d for d in alt.dims if isinstance(d, str) and d != "*"
+                    )
+                for alt in scalars:
+                    symbols.add(alt.symbol)
+                if len(param.alternatives) == 1 and arrays:
+                    env[param.name] = tuple(
+                        None if d == "*" else d for d in arrays[0].dims
+                    )
+                elif len(param.alternatives) == 1 and scalars:
+                    env[param.name] = ()
+            for ret in contract.returns:
+                for alt in ret:
+                    if isinstance(alt, ArrayShape):
+                        symbols.update(
+                            d
+                            for d in alt.dims
+                            if isinstance(d, str) and d != "*"
+                        )
+
+        inferencer = ShapeInferencer(env, symbols, ctx.qualified, lookup)
+        inferencer.exec_block(node.body)
+        for issue in inferencer.issues:
+            yield self.emit(ctx, issue.node, issue.code, issue.message)
+
+        if contract is not None and contract.returns:
+            # Re-infer each return expression against the final environment.
+            checker = ShapeInferencer(
+                dict(inferencer.env), symbols, ctx.qualified, lookup
+            )
+            for ret in collect_returns(node):
+                if ret.value is None:
+                    continue
+                yield from self._check_return(
+                    ctx, node.name, contract, ret, checker
+                )
+
+    def _check_return(
+        self,
+        ctx: FileContext,
+        fname: str,
+        contract,
+        ret: ast.Return,
+        checker: ShapeInferencer,
+    ) -> Iterator[Finding]:
+        assert ret.value is not None
+        if len(contract.returns) > 1:
+            if not isinstance(ret.value, ast.Tuple):
+                return  # can't statically split a non-literal tuple
+            if len(ret.value.elts) != len(contract.returns):
+                yield self.emit(
+                    ctx,
+                    ret,
+                    "NL511",
+                    f"{fname}: returns a {len(ret.value.elts)}-tuple, "
+                    f"contract declares {len(contract.returns)} values",
+                )
+                return
+            parts = list(ret.value.elts)
+        else:
+            parts = [ret.value]
+        for alts, expr in zip(contract.returns, parts):
+            actual = checker.infer(expr)
+            if actual is None:
+                continue
+            ok = False
+            for alt in alts:
+                assert isinstance(alt, ArrayShape)
+                if len(alt.dims) == len(actual) and all(
+                    _return_dim_ok(declared, dim, checker.symbols)
+                    for declared, dim in zip(alt.dims, actual)
+                ):
+                    ok = True
+                    break
+            if not ok:
+                declared_text = " | ".join(a.render() for a in alts)
+                yield self.emit(
+                    ctx,
+                    ret,
+                    "NL511",
+                    f"{fname}: return shape {render_shape(actual)} does not "
+                    f"unify with the declared {declared_text}",
+                )
+
+    # -- module level -------------------------------------------------------
+
+    def _check_module_level(
+        self, ctx: FileContext, lookup
+    ) -> Iterator[Finding]:
+        """NL510/NL520 for top-level statements (script-style call sites)."""
+        stmts = [
+            s
+            for s in ctx.tree.body
+            if not isinstance(
+                s, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            )
+        ]
+        if not stmts:
+            return
+        inferencer = ShapeInferencer({}, set(), ctx.qualified, lookup)
+        inferencer.exec_block(stmts)
+        for issue in inferencer.issues:
+            yield self.emit(ctx, issue.node, issue.code, issue.message)
+
+
+def _return_dim_ok(
+    declared: str | int, dim: str | int | None, symbols: set[str]
+) -> bool:
+    """One return dimension under rigid-symbol semantics.
+
+    Symbols in the function's own contract namespace must line up with
+    themselves; dims we cannot prove different (unknowns, symbol-vs-int)
+    pass.
+    """
+    if declared == "*" or dim is None:
+        return True
+    if isinstance(declared, int):
+        return not isinstance(dim, int) or declared == dim
+    if isinstance(dim, str):
+        return declared == dim or dim not in symbols
+    return True
+
+
+def _iter_functions(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, str | None]]:
+    """Module-level functions and first-level methods, with the class name."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, None
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield item, node.name
