@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.bo import RemboBO, uniform_initial_design
 from repro.embedding import select_embedding_dimension
+from repro.runtime import as_objective
 from repro.sampling import MonteCarloSampler
 from repro.synthetic import RareFailureFunction
 from repro.utils import render_table, unit_cube_bounds
@@ -35,10 +36,14 @@ def main() -> None:
         seed=11,
     )
     bounds = unit_cube_bounds(D)
+    # every evaluation flows through the runtime's Objective protocol
+    objective = as_objective(
+        circuit, dim=D, bounds=bounds, cache_key="rare-failure-quickstart"
+    )
 
     # step 1: a shared initial dataset (the paper's D_0)
     X0 = uniform_initial_design(bounds, n_init=25, seed=SEED)
-    y0 = np.array([circuit(x) for x in X0])
+    y0 = np.asarray(objective(X0))
     print(f"initial dataset: {len(y0)} simulations, best value {y0.min():+.3f}")
 
     # step 2: Algorithm 2 — embedding dimension from the initial data
@@ -64,7 +69,7 @@ def main() -> None:
         seed=SEED,
     )
     result = engine.run(
-        circuit,
+        objective,
         bounds,
         n_batches=8,
         threshold=circuit.threshold,
@@ -84,7 +89,7 @@ def main() -> None:
 
     # step 4: Monte Carlo at the same budget misses the pocket
     mc = MonteCarloSampler(result.n_evaluations, seed=SEED).run(
-        circuit, bounds, threshold=circuit.threshold
+        objective, bounds, threshold=circuit.threshold
     )
     mc_summary = mc.summarize(circuit.threshold)
     print(

@@ -14,7 +14,7 @@ from repro.bo.engine import (
 )
 from repro.bo.loop import ACQUISITIONS, SequentialBO
 from repro.bo.propose import BatchProposal, propose_batch
-from repro.bo.records import FailureSummary, RunResult
+from repro.bo.records import FailureSummary, RunRecorder, RunResult
 from repro.bo.rembo import RemboBO
 from repro.bo.spec import Specification
 
@@ -24,6 +24,7 @@ __all__ = [
     "RemboBO",
     "Specification",
     "RunResult",
+    "RunRecorder",
     "FailureSummary",
     "SurrogateManager",
     "propose_batch",

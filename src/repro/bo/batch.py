@@ -19,13 +19,16 @@ from repro.bo.engine import (
     KernelFactory,
     OptimizerFactory,
     SurrogateManager,
+    resolve_bounds,
     uniform_initial_design,
 )
 from repro.bo.propose import propose_batch
-from repro.bo.records import RunResult
+from repro.bo.records import RunRecorder, RunResult
+from repro.runtime.broker import RuntimePolicy, make_broker
+from repro.runtime.objective import Objective, coerce_objective
 from repro.utils.rng import SeedLike, as_generator, spawn
 from repro.utils.timing import Timer
-from repro.utils.validation import as_matrix, as_vector, check_bounds
+from repro.utils.validation import as_matrix, as_vector
 
 
 class BatchBO:
@@ -85,27 +88,38 @@ class BatchBO:
 
     def run(
         self,
-        objective: Callable[[np.ndarray], float],
-        bounds,
+        objective: Objective | Callable[[np.ndarray], float],
+        bounds=None,
         n_init: int = 5,
         n_batches: int = 5,
         threshold: float | None = None,
         initial_data: tuple[np.ndarray, np.ndarray] | None = None,
+        runtime: RuntimePolicy | None = None,
     ) -> RunResult:
         """Run ``n_batches`` batches of ``batch_size`` simulations each."""
-        lower, upper = check_bounds(bounds)
+        objective = coerce_objective(objective, bounds)
+        lower, upper, box = resolve_bounds(objective, bounds)
         dim = lower.shape[0]
-        box = np.column_stack([lower, upper])
         rng_init, rng_model = spawn(self._rng, 2)
+
+        recorder = RunRecorder(method="pBO", model_dim=dim)
+        broker = make_broker(objective, runtime, recorder=recorder, method="pBO")
 
         timer = Timer().start()
         if initial_data is not None:
             X = as_matrix(initial_data[0], dim).copy()
             y = as_vector(initial_data[1], X.shape[0]).copy()
-            n_init = X.shape[0]
+            recorder.record_initial(X, y)
         else:
-            X = uniform_initial_design(box, n_init, seed=rng_init)
-            y = np.array([float(objective(x)) for x in X])
+            X0 = uniform_initial_design(box, n_init, seed=rng_init)
+            batch = broker.evaluate_batch(X0)
+            recorder.mark_initial()
+            X, y = batch.X, batch.y
+        if y.size == 0:
+            raise ValueError(
+                "no initial evaluations survived the failure policy; "
+                "cannot fit a surrogate"
+            )
 
         manager = SurrogateManager(
             dim,
@@ -115,7 +129,6 @@ class BatchBO:
             n_restarts=self.n_restarts,
             seed=rng_model,
         )
-        acquisition_evals = 0
 
         for _ in range(n_batches):
             gp = manager.refit(X, y)
@@ -126,25 +139,22 @@ class BatchBO:
                 optimizer_factory=self.acquisition_optimizer_factory,
                 n_jobs=self.n_jobs,
             )
-            acquisition_evals += proposal.n_evaluations
-            new_X = [np.clip(x, lower, upper) for x in proposal.X]
-            new_y = np.array([float(objective(x)) for x in new_X])
-            X = np.vstack([X, np.array(new_X)])
-            y = np.concatenate([y, new_y])
+            recorder.add_acquisition(proposal.n_evaluations)
+            new_X = np.clip(proposal.X, lower, upper)
+            batch = broker.evaluate_batch(new_X)
+            if batch.n_evaluated:
+                X = np.vstack([X, batch.X])
+                y = np.concatenate([y, batch.y])
             if (
                 self.stop_on_failure
                 and threshold is not None
-                and np.min(new_y) < threshold
+                and batch.n_evaluated
+                and np.min(batch.y) < threshold
             ):
                 break
         timer.stop()
 
-        return RunResult(
-            X=X,
-            y=y,
-            n_init=n_init,
-            method="pBO",
-            runtime_seconds=timer.elapsed,
-            acquisition_evaluations=acquisition_evals,
-            model_dim=dim,
+        return recorder.finalize(
+            total_seconds=timer.elapsed,
+            eval_seconds=broker.stats.eval_seconds,
         )

@@ -17,6 +17,7 @@ from repro.gp.model import GaussianProcess
 from repro.gp.standardize import Standardizer
 from repro.kernels.stationary import Matern52
 from repro.optim.base import Optimizer
+from repro.runtime.objective import resolve_bounds  # noqa: F401 — engine-facing re-export
 from repro.utils.contracts import shape_contract
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import as_matrix, as_vector, check_bounds
@@ -28,6 +29,8 @@ OptimizerFactory = Callable[[int], Optimizer]
 def default_kernel_factory(dim: int):
     """Matérn-5/2 with ARD, the usual BO default (paper cites both SE and Matérn)."""
     return Matern52(dim=dim, ard=True)
+
+
 
 
 @shape_contract("bounds: a(d, 2) | a(2, d), n_init: n -> (n, d)")

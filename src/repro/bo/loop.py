@@ -22,12 +22,15 @@ from repro.bo.engine import (
     KernelFactory,
     OptimizerFactory,
     SurrogateManager,
+    resolve_bounds,
     uniform_initial_design,
 )
-from repro.bo.records import RunResult
+from repro.bo.records import RunRecorder, RunResult
+from repro.runtime.broker import RuntimePolicy, make_broker
+from repro.runtime.objective import Objective, coerce_objective
 from repro.utils.rng import SeedLike, as_generator, spawn
 from repro.utils.timing import Timer
-from repro.utils.validation import as_matrix, as_vector, check_bounds
+from repro.utils.validation import as_matrix, as_vector
 
 #: Acquisition registry used by the experiment harness ("EI", "PI", "LCB").
 ACQUISITIONS = {
@@ -88,35 +91,51 @@ class SequentialBO:
 
     def run(
         self,
-        objective: Callable[[np.ndarray], float],
-        bounds,
+        objective: Objective | Callable[[np.ndarray], float],
+        bounds=None,
         n_init: int = 5,
         budget: int = 100,
         threshold: float | None = None,
         initial_data: tuple[np.ndarray, np.ndarray] | None = None,
+        runtime: RuntimePolicy | None = None,
     ) -> RunResult:
         """Spend ``budget`` total objective evaluations minimizing ``objective``.
 
         ``initial_data`` (``X0, y0``) reuses precomputed simulations — the
         paper shares one initial dataset across all BO methods; when given,
         ``n_init`` is ignored and no extra initial simulations are spent.
+        ``bounds`` may be omitted for an :class:`Objective` that declares
+        its own.  All simulations route through the evaluation runtime
+        (``runtime`` supplies shared cache / ledger / failure policy).
         """
-        lower, upper = check_bounds(bounds)
+        objective = coerce_objective(objective, bounds)
+        lower, upper, box = resolve_bounds(objective, bounds)
         dim = lower.shape[0]
-        box = np.column_stack([lower, upper])
         rng_init, rng_model = spawn(self._rng, 2)
+
+        method = self.acquisition.upper()
+        recorder = RunRecorder(method=method, model_dim=dim)
+        broker = make_broker(objective, runtime, recorder=recorder, method=method)
 
         timer = Timer().start()
         if initial_data is not None:
             X = as_matrix(initial_data[0], dim).copy()
             y = as_vector(initial_data[1], X.shape[0]).copy()
-            n_init = X.shape[0]
+            recorder.record_initial(X, y)
         else:
-            X = uniform_initial_design(box, n_init, seed=rng_init)
-            y = np.array([float(objective(x)) for x in X])
-        if budget < X.shape[0]:
+            X0 = uniform_initial_design(box, n_init, seed=rng_init)
+            batch = broker.evaluate_batch(X0)
+            recorder.mark_initial()
+            X, y = batch.X, batch.y
+        n_spent = max(X.shape[0], n_init if initial_data is None else 0)
+        if budget < n_spent:
             raise ValueError(
-                f"budget {budget} smaller than initial design {X.shape[0]}"
+                f"budget {budget} smaller than initial design {n_spent}"
+            )
+        if y.size == 0:
+            raise ValueError(
+                "no initial evaluations survived the failure policy; "
+                "cannot fit a surrogate"
             )
 
         manager = SurrogateManager(
@@ -127,10 +146,9 @@ class SequentialBO:
             n_restarts=self.n_restarts,
             seed=rng_model,
         )
-        acquisition_evals = 0
         build = ACQUISITIONS[self.acquisition]
 
-        while X.shape[0] < budget:
+        while n_spent < budget:
             if (
                 self.stop_on_failure
                 and threshold is not None
@@ -141,19 +159,17 @@ class SequentialBO:
             acq = build(gp, self.xi, self.kappa)
             optimizer = self.acquisition_optimizer_factory(dim)
             result = optimizer.minimize(acq, box)
-            acquisition_evals += result.n_evaluations
+            recorder.add_acquisition(result.n_evaluations)
             x_next = np.clip(result.x, lower, upper)
-            y_next = float(objective(x_next))
+            y_next = broker.evaluate(x_next)
+            n_spent += 1
+            if y_next is None:  # dropped by the skip policy
+                continue
             X = np.vstack([X, x_next])
             y = np.append(y, y_next)
         timer.stop()
 
-        return RunResult(
-            X=X,
-            y=y,
-            n_init=n_init,
-            method=self.acquisition.upper(),
-            runtime_seconds=timer.elapsed,
-            acquisition_evaluations=acquisition_evals,
-            model_dim=dim,
+        return recorder.finalize(
+            total_seconds=timer.elapsed,
+            eval_seconds=broker.stats.eval_seconds,
         )

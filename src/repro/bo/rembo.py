@@ -29,19 +29,22 @@ from repro.bo.engine import (
     KernelFactory,
     OptimizerFactory,
     SurrogateManager,
+    resolve_bounds,
     uniform_initial_design,
 )
 from repro.bo.propose import propose_batch
-from repro.bo.records import RunResult
+from repro.bo.records import RunRecorder, RunResult
 from repro.embedding.dimension_selection import (
     DimensionSelectionResult,
     select_embedding_dimension,
 )
 from repro.embedding.random_embedding import RandomEmbedding
+from repro.runtime.broker import RuntimePolicy, make_broker
+from repro.runtime.objective import Objective, coerce_objective
 from repro.utils.contracts import shape_contract
 from repro.utils.rng import SeedLike, as_generator, spawn
 from repro.utils.timing import Timer
-from repro.utils.validation import as_matrix, as_vector, check_bounds
+from repro.utils.validation import as_matrix, as_vector
 
 
 class RemboBO:
@@ -112,15 +115,16 @@ class RemboBO:
         self.n_jobs = int(n_jobs)
         self._rng = as_generator(seed)
 
-    @shape_contract("bounds: a(D, 2) | a(2, D)")
+    @shape_contract("bounds?: a(D, 2) | a(2, D)")
     def run(
         self,
-        objective: Callable[[np.ndarray], float],
-        bounds,
+        objective: Objective | Callable[[np.ndarray], float],
+        bounds=None,
         n_init: int = 5,
         n_batches: int = 5,
         threshold: float | None = None,
         initial_data: tuple[np.ndarray, np.ndarray] | None = None,
+        runtime: RuntimePolicy | None = None,
     ) -> RunResult:
         """Execute Algorithm 1; returns the full evaluation log.
 
@@ -128,20 +132,32 @@ class RemboBO:
         :class:`RandomEmbedding` (``"embedding"``) and, when Algorithm 2
         ran, its :class:`DimensionSelectionResult` (``"dimension_selection"``).
         """
-        lower, upper = check_bounds(bounds)
+        objective = coerce_objective(objective, bounds)
+        lower, upper, box = resolve_bounds(objective, bounds)
         D = lower.shape[0]
-        box = np.column_stack([lower, upper])
         rng_init, rng_dimsel, rng_embed, rng_model = spawn(self._rng, 4)
+
+        recorder = RunRecorder(method="REMBO-pBO")
+        broker = make_broker(
+            objective, runtime, recorder=recorder, method="REMBO-pBO"
+        )
 
         timer = Timer().start()
         # initial dataset D_0, sampled (or supplied) in the original space
         if initial_data is not None:
             X = as_matrix(initial_data[0], D).copy()
             y = as_vector(initial_data[1], X.shape[0]).copy()
-            n_init = X.shape[0]
+            recorder.record_initial(X, y)
         else:
-            X = uniform_initial_design(box, n_init, seed=rng_init)
-            y = np.array([float(objective(x)) for x in X])
+            X0 = uniform_initial_design(box, n_init, seed=rng_init)
+            batch = broker.evaluate_batch(X0)
+            recorder.mark_initial()
+            X, y = batch.X, batch.y
+        if y.size == 0:
+            raise ValueError(
+                "no initial evaluations survived the failure policy; "
+                "cannot fit a surrogate"
+            )
 
         # Algorithm 1, line 1: select the embedding dimension from D_0
         selection: DimensionSelectionResult | None = None
@@ -177,7 +193,7 @@ class RemboBO:
             n_restarts=self.n_restarts,
             seed=rng_model,
         )
-        acquisition_evals = 0
+        recorder.model_dim = d
 
         # lines 5-15: batched sequential design
         for _ in range(n_batches):
@@ -189,17 +205,21 @@ class RemboBO:
                 optimizer_factory=self.acquisition_optimizer_factory,
                 n_jobs=self.n_jobs,
             )
-            acquisition_evals += proposal.n_evaluations
+            recorder.add_acquisition(proposal.n_evaluations)
             new_Z = np.clip(proposal.X, z_lower, z_upper)
             new_X = embedding.to_original(new_Z)  # x = p_Omega(A z), Eq. 11
-            new_y = np.array([float(objective(x)) for x in new_X])
-            Z = np.vstack([Z, new_Z])
-            X = np.vstack([X, new_X])
-            y = np.concatenate([y, new_y])
+            batch = broker.evaluate_batch(new_X)
+            if batch.n_evaluated:
+                # under the skip policy only evaluated rows (batch.index)
+                # enter the model — keep Z aligned with X row for row
+                Z = np.vstack([Z, new_Z[batch.index]])
+                X = np.vstack([X, batch.X])
+                y = np.concatenate([y, batch.y])
             if (
                 self.stop_on_failure
                 and threshold is not None
-                and np.min(new_y) < threshold
+                and batch.n_evaluated
+                and np.min(batch.y) < threshold
             ):
                 break
         timer.stop()
@@ -207,14 +227,9 @@ class RemboBO:
         extra: dict = {"embedding": embedding, "embedding_dim": d}
         if selection is not None:
             extra["dimension_selection"] = selection
-        return RunResult(
-            X=X,
-            y=y,
-            n_init=n_init,
-            method="REMBO-pBO",
-            runtime_seconds=timer.elapsed,
-            acquisition_evaluations=acquisition_evals,
-            model_dim=d,
+        return recorder.finalize(
+            total_seconds=timer.elapsed,
+            eval_seconds=broker.stats.eval_seconds,
             Z=Z,
             extra=extra,
         )

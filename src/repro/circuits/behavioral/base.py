@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.bo.spec import Specification
+from repro.runtime.objective import Objective
 from repro.utils.contracts import shape_contract
 from repro.utils.validation import as_float_array, unit_cube_bounds
 
@@ -77,10 +78,9 @@ class CircuitTestbench(abc.ABC):
     def performance(self, name: str, x) -> float:
         """Evaluate the named performance (natural units) at variation ``x``."""
 
-    def objective(self, name: str):
+    def objective(self, name: str) -> "TestbenchObjective":
         """Minimization-orientation objective for the named spec (Eq. 2)."""
-        spec = self.specs[name]
-        return spec.wrap_objective(lambda x: self.performance(name, x))
+        return TestbenchObjective(self, name)
 
     def threshold(self, name: str) -> float:
         """The minimization threshold ``T`` for the named spec (Eq. 1)."""
@@ -89,6 +89,56 @@ class CircuitTestbench(abc.ABC):
     def is_failure(self, name: str, x) -> bool:
         """Pass/fail of one variation point against the named spec."""
         return bool(self.specs[name].is_failure(self.performance(name, x)))
+
+
+class TestbenchObjective(Objective):
+    """A testbench performance as a runtime :class:`Objective`.
+
+    The vectorized :meth:`evaluate` maps each variation row through
+    ``spec.to_minimization(performance(name, x))`` (paper Eq. 2) —
+    arithmetic identical to the legacy ``spec.wrap_objective`` closure.
+    The stable ``cache_key`` (testbench class + spec name) is what lets
+    the evaluation runtime cache and deduplicate simulations across
+    methods sharing a testbench.
+    """
+
+    def __init__(self, testbench: CircuitTestbench, name: str) -> None:
+        if name not in testbench.specs:
+            raise KeyError(
+                f"unknown spec {name!r}; options: {sorted(testbench.specs)}"
+            )
+        self.testbench = testbench
+        self.name = name
+        self._spec = testbench.specs[name]
+
+    @property
+    def dim(self) -> int:
+        return self.testbench.dim
+
+    @property
+    def bounds(self) -> np.ndarray:
+        return self.testbench.bounds()
+
+    @property
+    def cache_key(self) -> str:
+        return f"{type(self.testbench).__name__}:{self.name}"
+
+    @property
+    def threshold(self) -> float:
+        """The minimization threshold ``T`` for this spec (Eq. 1)."""
+        return self._spec.minimization_threshold
+
+    def evaluate(self, X) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        return np.array(
+            [
+                float(self._spec.to_minimization(
+                    self.testbench.performance(self.name, x)
+                ))
+                for x in X
+            ],
+            dtype=float,
+        )
 
 
 def soft_step(margin, width: float):

@@ -15,11 +15,13 @@ import numpy as np
 
 from repro.acquisition.optimize import default_acquisition_optimizer
 from repro.bo.batch import BatchBO
+from repro.bo.engine import uniform_initial_design
 from repro.bo.loop import SequentialBO
 from repro.bo.records import RunResult
 from repro.bo.rembo import RemboBO
 from repro.circuits.behavioral.base import CircuitTestbench
 from repro.experiments.config import ExperimentConfig
+from repro.runtime.broker import EvaluationBroker, RuntimePolicy
 from repro.sampling.monte_carlo import MonteCarloSampler
 from repro.sampling.sss import ScaledSigmaSampler
 from repro.utils.rng import SeedLike
@@ -38,14 +40,31 @@ def shared_initial_data(
     testbench: CircuitTestbench,
     spec_name: str,
     cfg: ExperimentConfig,
+    runtime: RuntimePolicy | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """The initial dataset D_0 shared by every BO method (paper §5.1)."""
-    from repro.bo.engine import uniform_initial_design
+    """The initial dataset D_0 shared by every BO method (paper §5.1).
 
+    Routed through the evaluation runtime so a shared ``runtime`` caches
+    the initial simulations: every method reusing this design (or
+    re-evaluating the same points) is then served without re-simulating.
+    """
     objective = testbench.objective(spec_name)
     X = uniform_initial_design(testbench.bounds(), cfg.n_init, seed=cfg.seed)
-    y = np.array([objective(x) for x in X])
-    return X, y
+    policy = runtime if runtime is not None else RuntimePolicy()
+    broker = EvaluationBroker(
+        objective,
+        config=policy.config,
+        cache=policy.cache,
+        ledger=policy.ledger,
+        campaign={"method": "initial_design", "spec": spec_name},
+    )
+    batch = broker.evaluate_batch(X)
+    if batch.n_evaluated != X.shape[0]:
+        raise RuntimeError(
+            "initial design lost points to the skip policy; the shared "
+            "dataset must be complete"
+        )
+    return batch.X, batch.y
 
 
 def run_method(
@@ -55,8 +74,14 @@ def run_method(
     cfg: ExperimentConfig,
     initial_data: tuple[np.ndarray, np.ndarray] | None = None,
     seed: SeedLike = None,
+    runtime: RuntimePolicy | None = None,
 ) -> RunResult:
-    """Execute one method against one spec and return its evaluation log."""
+    """Execute one method against one spec and return its evaluation log.
+
+    ``runtime`` threads a shared :class:`RuntimePolicy` (cache / ledger /
+    failure policy) through the method's evaluations; methods sharing a
+    policy never re-simulate a point any of them has already evaluated.
+    """
     objective = testbench.objective(spec_name)
     threshold = testbench.threshold(spec_name)
     bounds = testbench.bounds()
@@ -64,16 +89,16 @@ def run_method(
 
     if name == "MC":
         sampler = MonteCarloSampler(cfg.mc_samples, seed=seed)
-        return sampler.run(objective, bounds, threshold=threshold)
+        return sampler.run(objective, bounds, threshold=threshold, runtime=runtime)
 
     if name == "SSS":
         sampler = ScaledSigmaSampler(
             cfg.sss_samples_per_scale, scales=cfg.sss_scales, seed=seed
         )
-        return sampler.run(objective, bounds, threshold=threshold)
+        return sampler.run(objective, bounds, threshold=threshold, runtime=runtime)
 
     if initial_data is None:
-        initial_data = shared_initial_data(testbench, spec_name, cfg)
+        initial_data = shared_initial_data(testbench, spec_name, cfg, runtime=runtime)
 
     if name in ("EI", "PI", "LCB"):
         engine = SequentialBO(
@@ -90,6 +115,7 @@ def run_method(
             budget=cfg.bo_budget,
             threshold=threshold,
             initial_data=initial_data,
+            runtime=runtime,
         )
 
     if name == "pBO":
@@ -107,6 +133,7 @@ def run_method(
             n_batches=cfg.n_batches,
             threshold=threshold,
             initial_data=initial_data,
+            runtime=runtime,
         )
 
     if name == "This work":
@@ -126,6 +153,7 @@ def run_method(
             n_batches=cfg.n_batches,
             threshold=threshold,
             initial_data=initial_data,
+            runtime=runtime,
         )
 
     raise ValueError(f"unknown method {name!r}; options: {METHOD_ORDER}")

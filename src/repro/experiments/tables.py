@@ -16,6 +16,7 @@ from repro.bo.records import FailureSummary, RunResult
 from repro.circuits.behavioral.base import CircuitTestbench
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.methods import METHOD_ORDER, run_method, shared_initial_data
+from repro.runtime.broker import RuntimePolicy
 from repro.utils.parallel import parallel_map
 from repro.utils.rng import spawn
 from repro.utils.tables import format_count, format_sim_budget, render_table
@@ -67,9 +68,10 @@ def _sim_budget_label(method: str, cfg: ExperimentConfig, n_sims: int) -> str:
 
 def _run_cell(task) -> RunResult:
     """Execute one (spec, method, repeat) cell (process-pool safe)."""
-    testbench, spec_name, method, cfg, init, seed = task
+    testbench, spec_name, method, cfg, init, seed, runtime = task
     result = run_method(
-        method, testbench, spec_name, cfg, initial_data=init, seed=seed
+        method, testbench, spec_name, cfg, initial_data=init, seed=seed,
+        runtime=runtime,
     )
     result.method = method
     return result
@@ -84,6 +86,7 @@ def run_table(
     verbose: bool = False,
     repeats: int = 1,
     n_jobs: int = 1,
+    runtime: RuntimePolicy | None = None,
 ) -> TableResult:
     """Run ``methods`` × ``specs`` (× ``repeats``) and collect paper rows.
 
@@ -93,6 +96,11 @@ def run_table(
     only on cell order, so results are bit-identical for any ``n_jobs``.
     Cells are mutually independent; ``n_jobs > 1`` fans them out across a
     process pool.
+
+    ``runtime`` threads a shared :class:`RuntimePolicy` through every cell.
+    The policy pickles by value into worker tasks, so with ``n_jobs > 1``
+    each worker gets a *copy* of the cache (hits within a cell still work,
+    but cross-cell sharing needs ``n_jobs=1``).
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
@@ -103,14 +111,16 @@ def run_table(
     labels: list[tuple[str, str, int]] = []
     cell_rng = np.random.default_rng(cfg.seed)
     for spec_name in spec_names:
-        init = shared_initial_data(testbench, spec_name, cfg)
+        init = shared_initial_data(testbench, spec_name, cfg, runtime=runtime)
         for method in methods:
             if repeats == 1:
                 seeds = [None]  # run_method falls back to cfg.seed
             else:
                 seeds = spawn(cell_rng, repeats)
             for repeat, seed in enumerate(seeds):
-                tasks.append((testbench, spec_name, method, cfg, init, seed))
+                tasks.append(
+                    (testbench, spec_name, method, cfg, init, seed, runtime)
+                )
                 labels.append((spec_name, method, repeat))
 
     results = parallel_map(_run_cell, tasks, n_jobs=n_jobs)

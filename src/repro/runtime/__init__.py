@@ -1,0 +1,71 @@
+"""Fault-tolerant evaluation runtime: objectives, broker, cache, ledger.
+
+Public surface of the evaluation layer described in DESIGN.md §10:
+
+* :class:`Objective` / :func:`as_objective` — the unified objective
+  protocol every engine and sampler consumes;
+* :class:`EvaluationBroker` / :class:`BrokerConfig` /
+  :class:`RuntimePolicy` — dispatch, retry, timeout and failure policy;
+* :class:`ResultCache` / :func:`point_digest` — content-addressed
+  deduplication of simulations;
+* :class:`RunLedger` / :func:`read_ledger` / :func:`resume` — JSONL event
+  log doubling as the campaign checkpoint;
+* :class:`FaultPlan` / :class:`FaultInjectingTestbench` — deterministic
+  fault injection for testing the above.
+"""
+
+from repro.runtime.broker import (
+    FAILURE_POLICIES,
+    BrokerConfig,
+    BrokerStats,
+    EvalBatch,
+    EvaluationBroker,
+    EvaluationError,
+    NonFiniteResultError,
+    RuntimePolicy,
+    make_broker,
+)
+from repro.runtime.cache import DEFAULT_DECIMALS, ResultCache, point_digest
+from repro.runtime.faults import (
+    FaultInjectingObjective,
+    FaultInjectingTestbench,
+    FaultPlan,
+    TransientSimulationError,
+)
+from repro.runtime.ledger import LEDGER_VERSION, LedgerReplay, RunLedger, read_ledger
+from repro.runtime.objective import (
+    FunctionObjective,
+    Objective,
+    as_objective,
+    coerce_objective,
+)
+from repro.runtime.resume import ResumeState, resume
+
+__all__ = [
+    "DEFAULT_DECIMALS",
+    "FAILURE_POLICIES",
+    "LEDGER_VERSION",
+    "BrokerConfig",
+    "BrokerStats",
+    "EvalBatch",
+    "EvaluationBroker",
+    "EvaluationError",
+    "FaultInjectingObjective",
+    "FaultInjectingTestbench",
+    "FaultPlan",
+    "FunctionObjective",
+    "LedgerReplay",
+    "NonFiniteResultError",
+    "Objective",
+    "ResultCache",
+    "ResumeState",
+    "RunLedger",
+    "RuntimePolicy",
+    "TransientSimulationError",
+    "as_objective",
+    "coerce_objective",
+    "make_broker",
+    "point_digest",
+    "read_ledger",
+    "resume",
+]

@@ -1,0 +1,535 @@
+"""The evaluation broker: fault-tolerant dispatch of objective batches.
+
+Every engine and sampler routes its objective calls through an
+:class:`EvaluationBroker`.  The broker owns the concerns a bare function
+call cannot express when each evaluation is an expensive, failure-prone
+simulation:
+
+* **dispatch** — a batch of points fans out across a
+  :class:`~repro.utils.parallel.WorkerPool` (inline / thread / process)
+  with a per-evaluation timeout;
+* **retry** — transient failures (exceptions, timeouts, non-finite
+  returns — the NaN quarantine) are retried up to ``max_retries`` times
+  with exponential backoff plus deterministic jitter;
+* **graceful degradation** — retry exhaustion resolves through a
+  configurable failure policy: ``raise`` (default), ``skip`` (drop the
+  point from the batch) or ``penalty`` (substitute a finite sentinel
+  value);
+* **deduplication** — results are stored in a content-addressed
+  :class:`~repro.runtime.cache.ResultCache` keyed on ``(cache_key,
+  rounded x)``, so repeated points never re-simulate;
+* **audit + checkpoint** — every event is appended to an optional
+  :class:`~repro.runtime.ledger.RunLedger`, which doubles as the resume
+  checkpoint;
+* **timing** — per-simulation durations accumulate into
+  ``stats.eval_seconds``, giving :class:`~repro.bo.records.RunResult` its
+  ``eval_seconds`` / ``overhead_seconds`` split.
+
+Determinism: retries and caching are value-transparent — a campaign run
+under transient fault injection produces exactly the ``X``/``y`` of the
+fault-free run, and a cache hit returns the exact float the simulation
+produced.  The backoff jitter draws from a broker-private seeded stream
+that never touches engine RNG state.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro._typing import FloatArray, IntArray
+from repro.runtime.cache import DEFAULT_DECIMALS, ResultCache
+from repro.runtime.ledger import LEDGER_VERSION, RunLedger
+from repro.runtime.objective import Objective, as_objective
+from repro.utils.parallel import POOL_KINDS, WorkerPool
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import as_matrix
+
+#: Recognized failure policies.
+FAILURE_POLICIES = ("raise", "skip", "penalty")
+
+
+class EvaluationError(RuntimeError):
+    """An evaluation failed after exhausting its retry budget."""
+
+
+class NonFiniteResultError(RuntimeError):
+    """The objective returned NaN/inf — quarantined like any failure."""
+
+
+@dataclass(frozen=True)
+class BrokerConfig:
+    """Dispatch, retry and failure-policy knobs for the broker.
+
+    Parameters
+    ----------
+    timeout_seconds:
+        Per-evaluation deadline; None disables.  Requires a non-inline
+        executor to enforce (``executor="auto"`` picks threads when set).
+    max_retries:
+        Additional attempts after the first failure (0 = fail fast).
+    backoff_seconds / backoff_factor / backoff_jitter:
+        Retry round ``k`` sleeps ``backoff_seconds * backoff_factor**k``,
+        scaled by a deterministic jitter in ``[1-j, 1+j]``.
+    failure_policy:
+        ``"raise"`` propagates an :class:`EvaluationError`; ``"skip"``
+        drops the point from the batch; ``"penalty"`` substitutes
+        ``penalty_value``.
+    penalty_value:
+        Required (finite) when ``failure_policy="penalty"`` — it enters
+        ``RunResult.y``, so it must be a valid observation; pick something
+        clearly uninteresting in minimization orientation (large).
+    n_jobs:
+        Worker width for dispatch parallelism (1 = sequential).
+    executor:
+        ``"auto"`` (inline unless a timeout or ``n_jobs>1`` needs a pool),
+        or an explicit :data:`~repro.utils.parallel.POOL_KINDS` entry.
+    cache_decimals:
+        Rounding applied to points before content-addressing.
+    """
+
+    timeout_seconds: float | None = None
+    max_retries: int = 2
+    backoff_seconds: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.1
+    failure_policy: str = "raise"
+    penalty_value: float | None = None
+    n_jobs: int = 1
+    executor: str = "auto"
+    cache_decimals: int = DEFAULT_DECIMALS
+
+    def __post_init__(self) -> None:
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ValueError(
+                f"timeout_seconds must be positive, got {self.timeout_seconds}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_seconds < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff_seconds >= 0 and backoff_factor >= 1 required")
+        if not 0.0 <= self.backoff_jitter < 1.0:
+            raise ValueError(
+                f"backoff_jitter must lie in [0, 1), got {self.backoff_jitter}"
+            )
+        if self.failure_policy not in FAILURE_POLICIES:
+            raise ValueError(
+                f"failure_policy must be one of {FAILURE_POLICIES}, "
+                f"got {self.failure_policy!r}"
+            )
+        if self.failure_policy == "penalty":
+            if self.penalty_value is None or not math.isfinite(self.penalty_value):
+                raise ValueError(
+                    "failure_policy='penalty' requires a finite penalty_value "
+                    "(it enters RunResult.y as an observation)"
+                )
+        if self.executor not in ("auto",) + POOL_KINDS:
+            raise ValueError(
+                f"executor must be 'auto' or one of {POOL_KINDS}, "
+                f"got {self.executor!r}"
+            )
+
+    def resolve_executor(self) -> str:
+        if self.executor != "auto":
+            return self.executor
+        if self.timeout_seconds is not None or self.n_jobs > 1:
+            return "thread"
+        return "inline"
+
+
+@dataclass
+class BrokerStats:
+    """Counters accumulated across a broker's lifetime."""
+
+    n_points: int = 0  # points requested through evaluate/evaluate_batch
+    n_simulations: int = 0  # attempts actually dispatched to the objective
+    n_completed: int = 0
+    n_cache_hits: int = 0
+    n_retries: int = 0
+    n_attempt_failures: int = 0
+    n_skipped: int = 0
+    n_penalized: int = 0
+    eval_seconds: float = 0.0  # summed duration of completed simulations
+
+
+@dataclass
+class EvalBatch:
+    """Outcome of one batch: surviving points in submission order.
+
+    Under ``raise``/``penalty`` policies ``X``/``y`` cover every submitted
+    point; under ``skip`` dropped points are absent and ``index`` maps each
+    surviving row back to its position in the submitted batch.
+    """
+
+    X: FloatArray
+    y: FloatArray
+    index: IntArray
+    n_submitted: int
+
+    @property
+    def n_evaluated(self) -> int:
+        return int(self.y.shape[0])
+
+
+@dataclass
+class _Pending:
+    """One not-yet-resolved point within a batch."""
+
+    pos: int
+    eval_id: int
+    x: FloatArray
+    digest: str
+
+
+class EvaluationBroker:
+    """Routes every objective evaluation of a run; see module docstring.
+
+    Parameters
+    ----------
+    objective:
+        An :class:`~repro.runtime.objective.Objective` (wrap legacy
+        callables with :func:`~repro.runtime.objective.as_objective`).
+    config:
+        Dispatch/retry/policy knobs; defaults are zero-overhead inline
+        execution with fail-fast semantics compatible with direct calls.
+    cache:
+        Shared result cache; None creates a private per-broker cache (still
+        deduplicates within the run).
+    ledger:
+        Optional :class:`RunLedger` receiving every event; a campaign
+        header is appended on construction.
+    recorder:
+        Optional :class:`~repro.bo.records.RunRecorder` fed every
+        surviving evaluation, in order.
+    seed:
+        Stream for backoff jitter only (never touches caller RNG state).
+    """
+
+    def __init__(
+        self,
+        objective: Objective | Callable,
+        config: BrokerConfig | None = None,
+        cache: ResultCache | None = None,
+        ledger: RunLedger | None = None,
+        recorder: Any | None = None,
+        campaign: dict[str, Any] | None = None,
+        seed: SeedLike = 0,
+    ) -> None:
+        self.objective = as_objective(objective)
+        self.config = config if config is not None else BrokerConfig()
+        self.cache = (
+            cache
+            if cache is not None
+            else ResultCache(decimals=self.config.cache_decimals)
+        )
+        self.ledger = ledger
+        self.recorder = recorder
+        self.stats = BrokerStats()
+        self._rng = as_generator(0 if seed is None else seed)
+        self._next_id = 0
+        if self.ledger is not None:
+            header: dict[str, Any] = {
+                "event": "campaign",
+                "version": LEDGER_VERSION,
+                "cache_key": self.objective.cache_key,
+                "dim": self.objective.dim,
+                "failure_policy": self.config.failure_policy,
+                "max_retries": self.config.max_retries,
+                "cache_decimals": self.cache.decimals,
+            }
+            if campaign:
+                header.update(campaign)
+            self.ledger.append(header)
+
+    # -- internals -----------------------------------------------------------
+
+    def _log(self, event: dict[str, Any]) -> None:
+        if self.ledger is not None:
+            self.ledger.append(event)
+
+    def _simulate(self, x: FloatArray) -> tuple[float, float]:
+        """One objective call: returns ``(value, seconds)``; quarantines NaN."""
+        start = time.perf_counter()
+        value = float(self.objective.evaluate(x[None, :])[0])
+        seconds = time.perf_counter() - start
+        if not math.isfinite(value):
+            raise NonFiniteResultError(
+                f"objective returned non-finite value {value!r}"
+            )
+        return value, seconds
+
+    def _backoff_delay(self, attempt: int) -> float:
+        delay = self.config.backoff_seconds * self.config.backoff_factor**attempt
+        if self.config.backoff_jitter > 0.0:
+            delay *= 1.0 + self.config.backoff_jitter * float(
+                self._rng.uniform(-1.0, 1.0)
+            )
+        return delay
+
+    def _resolve_exhausted(
+        self,
+        pending: _Pending,
+        error: BaseException,
+        values: list[float | None],
+        dropped: list[bool],
+    ) -> None:
+        policy = self.config.failure_policy
+        if policy == "raise":
+            raise EvaluationError(
+                f"evaluation {pending.eval_id} failed after "
+                f"{self.config.max_retries + 1} attempts: {error}"
+            ) from error
+        if policy == "skip":
+            self.stats.n_skipped += 1
+            dropped[pending.pos] = True
+            self._log({"event": "skipped", "id": pending.eval_id})
+        else:  # penalty
+            penalty = float(self.config.penalty_value)  # type: ignore[arg-type]
+            self.stats.n_penalized += 1
+            values[pending.pos] = penalty
+            self._log(
+                {"event": "penalized", "id": pending.eval_id, "y": penalty}
+            )
+
+    # -- public API ----------------------------------------------------------
+
+    def evaluate_batch(self, X: FloatArray) -> EvalBatch:
+        """Evaluate a ``(n, dim)`` batch through cache, pool and policies."""
+        X = as_matrix(X, self.objective.dim)
+        n = X.shape[0]
+        self.stats.n_points += n
+        values: list[float | None] = [None] * n
+        dropped = [False] * n
+
+        pending: list[_Pending] = []
+        first_pos: dict[str, int] = {}
+        duplicates: list[tuple[int, int, str]] = []  # (pos, eval_id, digest)
+        for pos in range(n):
+            digest = self.cache.key_for(self.objective.cache_key, X[pos])
+            eval_id = self._next_id
+            self._next_id += 1
+            hit = self.cache.get(digest)
+            if hit is not None:
+                self.stats.n_cache_hits += 1
+                values[pos] = hit
+                self._log(
+                    {
+                        "event": "cache_hit",
+                        "id": eval_id,
+                        "digest": digest,
+                        "y": hit,
+                    }
+                )
+            elif digest in first_pos:
+                # same point again within this batch: simulate once, mirror
+                # the first occurrence's outcome afterwards
+                duplicates.append((pos, eval_id, digest))
+            else:
+                first_pos[digest] = pos
+                pending.append(_Pending(pos, eval_id, X[pos], digest))
+
+        if pending:
+            self._run_rounds(pending, values, dropped)
+
+        for pos, eval_id, digest in duplicates:
+            lead = first_pos[digest]
+            if dropped[lead]:
+                self.stats.n_skipped += 1
+                dropped[pos] = True
+                self._log({"event": "skipped", "id": eval_id})
+            elif digest in self.cache:  # completed (penalties are not cached)
+                self.stats.n_cache_hits += 1
+                values[pos] = values[lead]
+                self._log(
+                    {
+                        "event": "cache_hit",
+                        "id": eval_id,
+                        "digest": digest,
+                        "y": values[lead],
+                    }
+                )
+            else:
+                self.stats.n_penalized += 1
+                values[pos] = values[lead]
+                self._log(
+                    {"event": "penalized", "id": eval_id, "y": values[lead]}
+                )
+
+        keep = [i for i in range(n) if not dropped[i]]
+        y = np.array([values[i] for i in keep], dtype=float)
+        batch = EvalBatch(
+            X=X[keep].copy(),
+            y=y,
+            index=np.asarray(keep, dtype=np.int_),
+            n_submitted=n,
+        )
+        if self.recorder is not None and batch.n_evaluated:
+            self.recorder.extend(batch.X, batch.y)
+        return batch
+
+    def _run_rounds(
+        self,
+        pending: list[_Pending],
+        values: list[float | None],
+        dropped: list[bool],
+    ) -> None:
+        kind = self.config.resolve_executor()
+        pool = WorkerPool(kind=kind, n_jobs=self.config.n_jobs)
+        attempt = 0
+        try:
+            while pending:
+                for p in pending:
+                    self._log(
+                        {
+                            "event": "dispatched",
+                            "id": p.eval_id,
+                            "attempt": attempt,
+                            "digest": p.digest,
+                        }
+                    )
+                outcomes = pool.run_tasks(
+                    self._simulate,
+                    [p.x for p in pending],
+                    timeout=self.config.timeout_seconds,
+                )
+                failed: list[tuple[_Pending, BaseException]] = []
+                timed_out = False
+                for p, (result, error) in zip(pending, outcomes):
+                    self.stats.n_simulations += 1
+                    if error is None:
+                        value, seconds = result  # type: ignore[misc]
+                        self.stats.n_completed += 1
+                        self.stats.eval_seconds += seconds
+                        values[p.pos] = value
+                        self.cache.put(p.digest, value)
+                        self._log(
+                            {
+                                "event": "completed",
+                                "id": p.eval_id,
+                                "attempt": attempt,
+                                "digest": p.digest,
+                                "x": [float(v) for v in p.x],
+                                "y": value,
+                                "seconds": seconds,
+                                "cached": False,
+                            }
+                        )
+                    else:
+                        self.stats.n_attempt_failures += 1
+                        timed_out = timed_out or isinstance(error, TimeoutError)
+                        self._log(
+                            {
+                                "event": "failed",
+                                "id": p.eval_id,
+                                "attempt": attempt,
+                                "error": type(error).__name__,
+                                "message": str(error),
+                            }
+                        )
+                        failed.append((p, error))
+                if not failed:
+                    return
+                if attempt >= self.config.max_retries:
+                    for p, error in failed:
+                        self._resolve_exhausted(p, error, values, dropped)
+                    return
+                delay = self._backoff_delay(attempt)
+                self.stats.n_retries += len(failed)
+                for p, _ in failed:
+                    self._log(
+                        {
+                            "event": "retried",
+                            "id": p.eval_id,
+                            "attempt": attempt + 1,
+                            "backoff_seconds": delay,
+                        }
+                    )
+                if delay > 0:
+                    time.sleep(delay)
+                if timed_out and kind != "inline":
+                    # abandoned (timed-out) tasks still occupy workers;
+                    # retries need a fresh pool or they queue behind the
+                    # very hang that failed them
+                    pool.close()
+                    pool = WorkerPool(kind=kind, n_jobs=self.config.n_jobs)
+                pending = [p for p, _ in failed]
+                attempt += 1
+        finally:
+            pool.close()
+
+    def evaluate(self, x: FloatArray) -> float | None:
+        """Evaluate one point; returns None when the skip policy dropped it."""
+        batch = self.evaluate_batch(np.asarray(x, dtype=float)[None, :])
+        if batch.n_evaluated == 0:
+            return None
+        return float(batch.y[0])
+
+
+@dataclass
+class RuntimePolicy:
+    """Bundled runtime wiring passed to every engine/sampler ``run(...)``.
+
+    A policy owns what should be *shared across* runs — the broker config,
+    a result cache (deduplicating evaluations between methods that share an
+    initial design), and a ledger (one event stream for the whole
+    campaign).  Each ``run`` builds its own broker from the policy via
+    :func:`make_broker`.
+    """
+
+    config: BrokerConfig = field(default_factory=BrokerConfig)
+    cache: ResultCache | None = None
+    ledger: RunLedger | None = None
+
+    @classmethod
+    def shared(
+        cls,
+        ledger_path: str | Path | None = None,
+        config: BrokerConfig | None = None,
+        decimals: int | None = None,
+    ) -> "RuntimePolicy":
+        """A policy with one shared cache (and optional ledger) for a campaign."""
+        cfg = config if config is not None else BrokerConfig()
+        if decimals is not None:
+            cfg = replace(cfg, cache_decimals=decimals)
+        return cls(
+            config=cfg,
+            cache=ResultCache(decimals=cfg.cache_decimals),
+            ledger=RunLedger(ledger_path) if ledger_path is not None else None,
+        )
+
+
+def make_broker(
+    objective: Objective | Callable,
+    runtime: RuntimePolicy | None = None,
+    recorder: Any | None = None,
+    method: str = "",
+) -> EvaluationBroker:
+    """Build the broker one engine run uses, honoring a shared policy."""
+    policy = runtime if runtime is not None else RuntimePolicy()
+    campaign = {"method": method} if method else None
+    return EvaluationBroker(
+        objective,
+        config=policy.config,
+        cache=policy.cache,
+        ledger=policy.ledger,
+        recorder=recorder,
+        campaign=campaign,
+    )
+
+
+__all__ = [
+    "FAILURE_POLICIES",
+    "BrokerConfig",
+    "BrokerStats",
+    "EvalBatch",
+    "EvaluationBroker",
+    "EvaluationError",
+    "NonFiniteResultError",
+    "RuntimePolicy",
+    "make_broker",
+]

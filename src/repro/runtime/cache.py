@@ -1,0 +1,106 @@
+"""Content-addressed evaluation result cache.
+
+Each simulation result is addressed by a SHA-256 digest of the objective's
+``cache_key`` plus the evaluation point *rounded to a fixed number of
+decimals*.  Rounding is what makes deduplication effective in practice: the
+repeated points a campaign actually produces — the shared initial design
+every BO method starts from, REMBO proposals that clip to the same boundary
+``x`` (Eq. 11 projects many embedded ``z`` onto one cube face) — agree to
+well below 1e-12 but not always bit-for-bit after independent float
+pipelines.  Twelve decimals is far inside simulator noise and far outside
+any step an optimizer takes deliberately, so distinct query points never
+collide (see DESIGN.md §10 for the rationale).
+
+The cache is in-memory and thread-safe (the broker's worker threads share
+it); it pickles by value with the lock dropped and recreated, so it can
+ride inside task tuples handed to a process pool — though mutations made in
+a child process do not propagate back (cross-method sharing needs
+``n_jobs=1`` or a ledger replay).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from typing import Mapping
+
+import numpy as np
+
+from repro._typing import ArrayLike
+from repro.utils.contracts import shape_contract
+
+#: Default rounding applied to points before hashing (see module docstring).
+DEFAULT_DECIMALS = 12
+
+
+@shape_contract("x: a(d,)")
+def point_digest(
+    cache_key: str, x: ArrayLike, decimals: int = DEFAULT_DECIMALS
+) -> str:
+    """SHA-256 digest addressing one ``(objective, rounded point)`` result."""
+    arr = np.asarray(x, dtype=np.float64).reshape(-1)
+    rounded = np.round(arr, decimals) + 0.0  # fold -0.0 into +0.0
+    payload = b"|".join(
+        [cache_key.encode("utf-8"), str(int(decimals)).encode(), rounded.tobytes()]
+    )
+    return hashlib.sha256(payload).hexdigest()
+
+
+class ResultCache:
+    """Thread-safe digest → objective-value store with hit/miss counters."""
+
+    def __init__(self, decimals: int = DEFAULT_DECIMALS) -> None:
+        if decimals < 0:
+            raise ValueError(f"decimals must be non-negative, got {decimals}")
+        self.decimals = int(decimals)
+        self._store: dict[str, float] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def key_for(self, cache_key: str, x: ArrayLike) -> str:
+        """The digest this cache would use for ``(cache_key, x)``."""
+        return point_digest(cache_key, x, decimals=self.decimals)
+
+    def get(self, digest: str) -> float | None:
+        """Look up a digest, counting the hit or miss."""
+        with self._lock:
+            if digest in self._store:
+                self.hits += 1
+                return self._store[digest]
+            self.misses += 1
+            return None
+
+    def put(self, digest: str, value: float) -> None:
+        with self._lock:
+            self._store[digest] = float(value)
+
+    def preload(self, mapping: Mapping[str, float]) -> None:
+        """Bulk-insert digest → value pairs (ledger replay) without counting."""
+        with self._lock:
+            for digest, value in mapping.items():
+                self._store[digest] = float(value)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._store
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return {"size": len(self._store), "hits": self.hits, "misses": self.misses}
+
+    # -- pickling (locks are not picklable) ---------------------------------
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+
+__all__ = ["DEFAULT_DECIMALS", "ResultCache", "point_digest"]

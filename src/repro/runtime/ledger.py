@@ -1,0 +1,184 @@
+"""Append-only JSONL run ledger: event log and checkpoint format in one.
+
+Every evaluation the broker performs emits events — ``dispatched``,
+``completed``, ``failed``, ``retried``, ``cache_hit``, ``skipped``,
+``penalized`` — as one JSON object per line.  Because each line is flushed
+as it is written, a killed campaign leaves a valid prefix: the ledger *is*
+the checkpoint.  :func:`read_ledger` tolerates a truncated final line (the
+write the kill interrupted) and rebuilds the completed-evaluation state
+that :func:`repro.runtime.resume` preloads into a fresh cache.
+
+Event schema (version 1)
+------------------------
+``campaign``
+    Run metadata: ``cache_key``, ``dim``, ``method``, broker config.
+``dispatched``
+    ``id`` (evaluation counter), ``attempt``, ``digest``.
+``completed``
+    ``id``, ``attempt``, ``digest``, ``x`` (the evaluated point),
+    ``y``, ``seconds`` (simulation wall time), ``cached`` (always false —
+    cache hits get their own event).
+``cache_hit``
+    ``id``, ``digest``, ``y`` — the point was served without simulating.
+``failed``
+    ``id``, ``attempt``, ``error`` (exception class), ``message``.
+``retried``
+    ``id``, ``attempt`` (the upcoming attempt), ``backoff_seconds``.
+``skipped`` / ``penalized``
+    Terminal outcome under the matching failure policy; ``penalized``
+    carries the substituted ``y``.
+
+Durations are monotonic (``time.perf_counter``) deltas only; the ledger
+deliberately records no wall-clock timestamps so replaying it is
+deterministic (see the NL401 invariant).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Any, Iterable
+
+import numpy as np
+
+from repro._typing import FloatArray
+
+#: Schema version stamped on campaign events.
+LEDGER_VERSION = 1
+
+
+class RunLedger:
+    """Append-only JSONL writer; one flushed line per event.
+
+    The file handle opens lazily on first append (so a ledger object can be
+    constructed, pickled into worker tasks, and only materialize the file
+    where events actually happen) and is excluded from pickling.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fh: IO[str] | None = None
+
+    def append(self, event: dict[str, Any]) -> None:
+        """Write one event line and flush it to disk."""
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a", encoding="utf-8")
+        self._fh.write(json.dumps(event, separators=(",", ":")) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunLedger":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_fh"] = None
+        return state
+
+
+@dataclass
+class LedgerReplay:
+    """Parsed state of one ledger file.
+
+    ``completed`` maps digests to objective values (latest wins) and is
+    what resume preloads into a cache; ``X``/``y`` are the completed
+    evaluations in event order, for inspecting a partial campaign.
+    """
+
+    events: list[dict[str, Any]]
+    completed: dict[str, float]
+    X: FloatArray
+    y: FloatArray
+    counts: dict[str, int] = field(default_factory=dict)
+    truncated: bool = False
+    #: completed events whose digest had already completed earlier — actual
+    #: repeat simulations the cache should have absorbed.
+    duplicate_simulations: int = 0
+
+    @property
+    def n_completed(self) -> int:
+        return self.counts.get("completed", 0)
+
+    @property
+    def n_cache_hits(self) -> int:
+        return self.counts.get("cache_hit", 0)
+
+    def campaigns(self) -> list[dict[str, Any]]:
+        return [e for e in self.events if e.get("event") == "campaign"]
+
+
+def _parse_lines(lines: Iterable[str]) -> tuple[list[dict[str, Any]], bool]:
+    """Parse JSONL content, dropping at most one truncated trailing line."""
+    events: list[dict[str, Any]] = []
+    pending_error: int | None = None
+    for lineno, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if pending_error is not None:
+            raise ValueError(
+                f"corrupt ledger: unparseable line {pending_error} is not "
+                "the final line"
+            )
+        try:
+            events.append(json.loads(stripped))
+        except json.JSONDecodeError:
+            pending_error = lineno
+    return events, pending_error is not None
+
+
+def read_ledger(path: str | Path) -> LedgerReplay:
+    """Parse a ledger file into a :class:`LedgerReplay`.
+
+    A truncated final line (interrupted write) is dropped and flagged via
+    ``truncated``; garbage anywhere else raises.
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    events, truncated = _parse_lines(text.splitlines())
+
+    completed: dict[str, float] = {}
+    xs: list[list[float]] = []
+    ys: list[float] = []
+    counts: dict[str, int] = {}
+    duplicates = 0
+    for event in events:
+        kind = str(event.get("event", "?"))
+        counts[kind] = counts.get(kind, 0) + 1
+        if kind == "completed":
+            digest = str(event["digest"])
+            if digest in completed:
+                duplicates += 1
+            completed[digest] = float(event["y"])
+            xs.append([float(v) for v in event["x"]])
+            ys.append(float(event["y"]))
+
+    if xs:
+        X = np.asarray(xs, dtype=float)
+    else:
+        dim = 0
+        for event in events:
+            if event.get("event") == "campaign" and "dim" in event:
+                dim = int(event["dim"])
+                break
+        X = np.empty((0, dim), dtype=float)
+    return LedgerReplay(
+        events=events,
+        completed=completed,
+        X=X,
+        y=np.asarray(ys, dtype=float),
+        counts=counts,
+        truncated=truncated,
+        duplicate_simulations=duplicates,
+    )
+
+
+__all__ = ["LEDGER_VERSION", "LedgerReplay", "RunLedger", "read_ledger"]

@@ -1,0 +1,233 @@
+"""The unified ``Objective`` protocol every evaluation flows through.
+
+Historically each engine and sampler accepted a bare ``Callable`` taking one
+variation row and returning a float — no identity (so results could not be
+cached or deduplicated), no declared dimensionality or bounds (so every
+caller re-derived them), and no batch form (so vectorized testbenches were
+evaluated row by row).  :class:`Objective` is the single replacement: a
+vectorized ``__call__(X: (n, D)) -> (n,)`` plus ``dim``, ``bounds`` and a
+stable ``cache_key`` that the evaluation runtime (broker, cache, ledger)
+keys results on.
+
+Migration
+---------
+Existing scalar/row callables keep working two ways:
+
+* explicitly — wrap once with :func:`as_objective`::
+
+      objective = as_objective(my_fn, dim=19)
+      engine.run(objective, bounds)
+
+* implicitly — engines still accept a bare callable and wrap it
+  themselves through :func:`coerce_objective`, which emits a
+  :class:`DeprecationWarning`; this shim path is kept for one release.
+
+For backward compatibility :meth:`Objective.__call__` also accepts a single
+1-D row and returns a plain float, so an :class:`Objective` is a drop-in
+replacement anywhere a legacy row callable was expected.
+"""
+
+from __future__ import annotations
+
+import abc
+import warnings
+from typing import Callable
+
+import numpy as np
+
+from repro._typing import ArrayLike, FloatArray
+from repro.utils.contracts import shape_contract
+from repro.utils.validation import as_matrix, check_bounds
+
+
+class Objective(abc.ABC):
+    """A cache-addressable, vectorized black-box objective.
+
+    Subclasses implement :meth:`evaluate` (the batched form) and ``dim``;
+    ``bounds`` and ``cache_key`` have sensible defaults.  Values are in
+    *minimization* orientation throughout, matching paper Eq. 2.
+    """
+
+    @property
+    @abc.abstractmethod
+    def dim(self) -> int:
+        """Dimensionality ``D`` of the variation space."""
+
+    @property
+    def bounds(self) -> FloatArray | None:
+        """The evaluation box as ``(dim, 2)`` rows of ``(lo, hi)``, if known."""
+        return None
+
+    @property
+    def cache_key(self) -> str:
+        """Stable identity used to key cached/logged results.
+
+        Two objectives with equal ``cache_key`` must compute the same
+        function; the default derives from the concrete class, which is
+        only collision-safe within a single run — give testbench-backed
+        objectives an explicit, content-derived key.
+        """
+        return f"{type(self).__module__}.{type(self).__qualname__}[d={self.dim}]"
+
+    @abc.abstractmethod
+    def evaluate(self, X: FloatArray) -> FloatArray:
+        """Evaluate a batch ``X`` of shape ``(n, dim)``; returns ``(n,)``."""
+
+    def __call__(self, x: ArrayLike):
+        """Vectorized call; a single 1-D row returns a plain float."""
+        arr = np.asarray(x, dtype=float)
+        single = arr.ndim == 1
+        X = as_matrix(arr, self.dim)
+        out = np.asarray(self.evaluate(X), dtype=float).reshape(-1)
+        if out.shape[0] != X.shape[0]:
+            raise ValueError(
+                f"{type(self).__name__}.evaluate returned {out.shape[0]} "
+                f"values for {X.shape[0]} rows"
+            )
+        return float(out[0]) if single else out
+
+
+class FunctionObjective(Objective):
+    """Adapter giving a plain callable the :class:`Objective` interface.
+
+    Parameters
+    ----------
+    fn:
+        With ``vectorized=False`` (default), a legacy row callable
+        ``fn(x: (dim,)) -> float``; with ``vectorized=True``, a batch
+        callable ``fn(X: (n, dim)) -> (n,)``.
+    dim:
+        Dimensionality of the variation space.
+    bounds:
+        Optional evaluation box, ``(dim, 2)`` or ``(2, dim)``.
+    cache_key:
+        Stable identity; defaults to the function's qualified name plus
+        ``dim``, which is only collision-safe within a single run.
+    """
+
+    def __init__(
+        self,
+        fn: Callable,
+        dim: int,
+        bounds: ArrayLike | None = None,
+        cache_key: str | None = None,
+        vectorized: bool = False,
+    ) -> None:
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        self._fn = fn
+        self._dim = int(dim)
+        if bounds is None:
+            self._bounds: FloatArray | None = None
+        else:
+            lower, upper = check_bounds(bounds, self._dim)
+            self._bounds = np.column_stack([lower, upper])
+        if cache_key is None:
+            name = getattr(fn, "__qualname__", None) or repr(fn)
+            module = getattr(fn, "__module__", "") or ""
+            cache_key = f"{module}.{name}[d={self._dim}]"
+        self._cache_key = str(cache_key)
+        self._vectorized = bool(vectorized)
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    @property
+    def bounds(self) -> FloatArray | None:
+        return None if self._bounds is None else self._bounds.copy()
+
+    @property
+    def cache_key(self) -> str:
+        return self._cache_key
+
+    def evaluate(self, X: FloatArray) -> FloatArray:
+        X = as_matrix(X, self._dim)
+        if self._vectorized:
+            return np.asarray(self._fn(X), dtype=float).reshape(X.shape[0])
+        return np.array([float(self._fn(x)) for x in X], dtype=float)
+
+
+@shape_contract("bounds?: a(d, 2) | a(2, d)")
+def as_objective(
+    fn: Callable | Objective,
+    dim: int | None = None,
+    bounds: ArrayLike | None = None,
+    cache_key: str | None = None,
+    vectorized: bool = False,
+) -> Objective:
+    """Return ``fn`` as an :class:`Objective`, wrapping plain callables.
+
+    An existing :class:`Objective` passes through untouched.  A bare
+    callable needs ``dim`` (or ``bounds`` to infer it from).  This is the
+    supported migration shim for legacy row callables.
+    """
+    if isinstance(fn, Objective):
+        return fn
+    if not callable(fn):
+        raise TypeError(f"objective must be callable, got {type(fn).__name__}")
+    if dim is None:
+        if bounds is None:
+            raise TypeError(
+                "as_objective needs dim= (or bounds= to infer it) for a "
+                "bare callable"
+            )
+        lower, _ = check_bounds(bounds)
+        dim = lower.shape[0]
+    return FunctionObjective(
+        fn, dim, bounds=bounds, cache_key=cache_key, vectorized=vectorized
+    )
+
+
+def resolve_bounds(objective, bounds):
+    """The evaluation box a run happens in: ``(lower, upper, (d, 2) box)``.
+
+    Explicit ``bounds`` win; otherwise the objective's own ``bounds``
+    attribute (the :class:`Objective` protocol) is used.  Raises when
+    neither is available.
+    """
+    if bounds is None:
+        bounds = getattr(objective, "bounds", None)
+    if bounds is None:
+        raise ValueError(
+            "no bounds available: pass bounds= or an Objective that "
+            "declares its own"
+        )
+    lower, upper = check_bounds(bounds)
+    return lower, upper, np.column_stack([lower, upper])
+
+
+@shape_contract("bounds?: a(d, 2) | a(2, d)")
+def coerce_objective(
+    fn: Callable | Objective, bounds: ArrayLike | None = None
+) -> Objective:
+    """Engine-boundary shim: accept legacy callables one more release.
+
+    Engines and samplers call this on their ``objective`` argument; bare
+    callables are wrapped via :func:`as_objective` with a
+    :class:`DeprecationWarning` pointing at the migration path.
+    """
+    if isinstance(fn, Objective):
+        return fn
+    warnings.warn(
+        "passing a bare callable objective is deprecated; wrap it with "
+        "repro.runtime.as_objective(fn, dim=...) (the shim will be removed "
+        "after one release)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    if bounds is None:
+        raise TypeError(
+            "cannot infer the objective dimension: pass an Objective or "
+            "provide bounds"
+        )
+    return as_objective(fn, bounds=bounds)
+
+
+__all__ = [
+    "Objective",
+    "FunctionObjective",
+    "as_objective",
+    "coerce_objective",
+    "resolve_bounds",
+]

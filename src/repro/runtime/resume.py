@@ -1,0 +1,80 @@
+"""Campaign checkpoint/resume built on the run ledger.
+
+A killed campaign leaves a valid ledger prefix (each event line is flushed
+as written).  :func:`resume` parses that prefix and preloads every
+*completed* evaluation into a fresh :class:`ResultCache`.  Re-running the
+same seeded campaign with the returned :class:`RuntimePolicy` then
+fast-forwards deterministically: every evaluation the interrupted run
+finished is served from the cache (no re-simulation), the campaign picks
+up mid-batch exactly where the kill landed, and — because cached values
+are the exact floats the simulations produced (JSON round-trips doubles
+via shortest-repr) — the final :class:`~repro.bo.records.RunResult` is
+bitwise-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.runtime.broker import BrokerConfig, RuntimePolicy
+from repro.runtime.cache import DEFAULT_DECIMALS, ResultCache
+from repro.runtime.ledger import LedgerReplay, RunLedger, read_ledger
+
+
+@dataclass
+class ResumeState:
+    """Replayed ledger plus a cache preloaded with its completed evaluations."""
+
+    replay: LedgerReplay
+    cache: ResultCache
+    ledger_path: Path
+
+    @property
+    def n_completed(self) -> int:
+        return self.replay.n_completed
+
+    @property
+    def truncated(self) -> bool:
+        return self.replay.truncated
+
+    def policy(
+        self,
+        config: BrokerConfig | None = None,
+        append_ledger: bool = True,
+    ) -> RuntimePolicy:
+        """A :class:`RuntimePolicy` that fast-forwards through this state.
+
+        ``append_ledger=True`` (default) keeps logging to the same ledger
+        file, so the resumed run's events extend the original record.
+        """
+        return RuntimePolicy(
+            config=config if config is not None else BrokerConfig(),
+            cache=self.cache,
+            ledger=RunLedger(self.ledger_path) if append_ledger else None,
+        )
+
+
+def resume(
+    ledger_path: str | Path, decimals: int = DEFAULT_DECIMALS
+) -> ResumeState:
+    """Rebuild campaign state from a (possibly truncated) ledger file.
+
+    ``decimals`` must match the interrupted run's ``cache_decimals`` so the
+    preloaded digests address the same rounded points; the campaign header
+    in the ledger records the original value.
+    """
+    replay = read_ledger(ledger_path)
+    for header in replay.campaigns():
+        recorded = header.get("cache_decimals")
+        if recorded is not None and int(recorded) != int(decimals):
+            raise ValueError(
+                f"ledger was written with cache_decimals={recorded}, "
+                f"resume called with decimals={decimals}"
+            )
+    cache = ResultCache(decimals=decimals)
+    cache.preload(replay.completed)
+    return ResumeState(replay=replay, cache=cache, ledger_path=Path(ledger_path))
+
+
+__all__ = ["ResumeState", "resume"]

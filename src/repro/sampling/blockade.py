@@ -21,10 +21,12 @@ from typing import Callable
 
 import numpy as np
 
-from repro.bo.records import RunResult
+from repro.bo.records import RunRecorder, RunResult
+from repro.runtime.broker import RuntimePolicy, make_broker
+from repro.runtime.objective import Objective, coerce_objective, resolve_bounds
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.timing import Timer
-from repro.utils.validation import as_matrix, as_vector, check_bounds
+from repro.utils.validation import as_matrix, as_vector
 
 
 class LogisticClassifier:
@@ -135,9 +137,10 @@ class StatisticalBlockade:
 
     def run(
         self,
-        objective: Callable[[np.ndarray], float],
-        bounds,
+        objective: Objective | Callable[[np.ndarray], float],
+        bounds=None,
         threshold: float | None = None,
+        runtime: RuntimePolicy | None = None,
     ) -> RunResult:
         """Pilot, train, filter, simulate unblocked candidates.
 
@@ -145,12 +148,25 @@ class StatisticalBlockade:
         :class:`BlockadeDiagnostics`; total simulations = pilot plus
         unblocked candidates.
         """
-        lower, upper = check_bounds(bounds)
+        objective = coerce_objective(objective, bounds)
+        lower, upper, _ = resolve_bounds(objective, bounds)
         dim = lower.shape[0]
+        recorder = RunRecorder(method="Blockade")
+        broker = make_broker(
+            objective, runtime, recorder=recorder, method="Blockade"
+        )
         timer = Timer().start()
 
-        pilot_X = self._rng.uniform(lower, upper, size=(self.pilot_samples, dim))
-        pilot_y = np.array([float(objective(x)) for x in pilot_X])
+        pilot = broker.evaluate_batch(
+            self._rng.uniform(lower, upper, size=(self.pilot_samples, dim))
+        )
+        recorder.mark_initial()
+        pilot_X, pilot_y = pilot.X, pilot.y
+        if pilot_y.size == 0:
+            raise ValueError(
+                "no pilot evaluations survived the failure policy; "
+                "cannot train the blockade classifier"
+            )
 
         blockade_threshold = float(np.quantile(pilot_y, self.tail_quantile))
         margin_threshold = float(np.quantile(pilot_y, self.margin_quantile))
@@ -168,17 +184,13 @@ class StatisticalBlockade:
             proba = classifier.predict_proba(candidates)
             unblocked = candidates[proba >= self.probability_cutoff]
 
-        extra_y = np.array([float(objective(x)) for x in unblocked])
+        if unblocked.size:
+            broker.evaluate_batch(unblocked)
         timer.stop()
 
-        X = np.vstack([pilot_X, unblocked]) if unblocked.size else pilot_X
-        y = np.concatenate([pilot_y, extra_y])
-        return RunResult(
-            X=X,
-            y=y,
-            n_init=self.pilot_samples,
-            method="Blockade",
-            runtime_seconds=timer.elapsed,
+        return recorder.finalize(
+            total_seconds=timer.elapsed,
+            eval_seconds=broker.stats.eval_seconds,
             extra={
                 "blockade": BlockadeDiagnostics(
                     pilot_size=self.pilot_samples,

@@ -10,10 +10,11 @@ from typing import Callable
 
 import numpy as np
 
-from repro.bo.records import RunResult
+from repro.bo.records import RunRecorder, RunResult
+from repro.runtime.broker import RuntimePolicy, make_broker
+from repro.runtime.objective import Objective, coerce_objective, resolve_bounds
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.timing import Timer
-from repro.utils.validation import check_bounds
 
 
 class MonteCarloSampler:
@@ -41,29 +42,28 @@ class MonteCarloSampler:
 
     def run(
         self,
-        objective: Callable[[np.ndarray], float],
-        bounds,
+        objective: Objective | Callable[[np.ndarray], float],
+        bounds=None,
         threshold: float | None = None,
+        runtime: RuntimePolicy | None = None,
     ) -> RunResult:
-        lower, upper = check_bounds(bounds)
+        objective = coerce_objective(objective, bounds)
+        lower, upper, _ = resolve_bounds(objective, bounds)
+        recorder = RunRecorder(method="MC")
+        broker = make_broker(objective, runtime, recorder=recorder, method="MC")
+
         timer = Timer().start()
         X = self._rng.uniform(lower, upper, size=(self.n_samples, lower.shape[0]))
-        ys = []
-        for x in X:
-            value = float(objective(x))
-            ys.append(value)
-            if (
-                self.stop_on_failure
-                and threshold is not None
-                and value < threshold
-            ):
-                break
+        if self.stop_on_failure and threshold is not None:
+            for x in X:
+                value = broker.evaluate(x)
+                if value is not None and value < threshold:
+                    break
+        else:
+            broker.evaluate_batch(X)
+        recorder.mark_initial()
         timer.stop()
-        n = len(ys)
-        return RunResult(
-            X=X[:n],
-            y=np.asarray(ys),
-            n_init=n,
-            method="MC",
-            runtime_seconds=timer.elapsed,
+        return recorder.finalize(
+            total_seconds=timer.elapsed,
+            eval_seconds=broker.stats.eval_seconds,
         )

@@ -27,10 +27,11 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.bo.records import RunResult
+from repro.bo.records import RunRecorder, RunResult
+from repro.runtime.broker import RuntimePolicy, make_broker
+from repro.runtime.objective import Objective, coerce_objective, resolve_bounds
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.timing import Timer
-from repro.utils.validation import check_bounds
 
 #: ±4σ spans the normalized cube (paper Section 5.1).
 NOMINAL_SIGMA_FRACTION = 1.0 / 4.0
@@ -100,9 +101,10 @@ class ScaledSigmaSampler:
 
     def run(
         self,
-        objective: Callable[[np.ndarray], float],
-        bounds,
+        objective: Objective | Callable[[np.ndarray], float],
+        bounds=None,
         threshold: float | None = None,
+        runtime: RuntimePolicy | None = None,
     ) -> RunResult:
         """Sample every scale, simulate, and fit the extrapolation model.
 
@@ -110,14 +112,15 @@ class ScaledSigmaSampler:
         (when enough scales failed to fit one) in ``extra["sss_fit"]`` and
         the per-scale failure fractions in ``extra["failure_fractions"]``.
         """
-        lower, upper = check_bounds(bounds)
+        objective = coerce_objective(objective, bounds)
+        lower, upper, _ = resolve_bounds(objective, bounds)
         dim = lower.shape[0]
         center = 0.5 * (lower + upper)
         half_span = 0.5 * (upper - lower)
+        recorder = RunRecorder(method="SSS")
+        broker = make_broker(objective, runtime, recorder=recorder, method="SSS")
 
         timer = Timer().start()
-        all_X: list[np.ndarray] = []
-        all_y: list[float] = []
         fractions = np.zeros(self.scales.size)
         stop = False
         for i, scale in enumerate(self.scales):
@@ -127,30 +130,30 @@ class ScaledSigmaSampler:
             ) * sigma
             X = np.clip(X, lower, upper)
             n_fail = 0
-            for x in X:
-                value = float(objective(x))
-                all_X.append(x)
-                all_y.append(value)
-                if threshold is not None and value < threshold:
-                    n_fail += 1
-                    if self.stop_on_failure:
+            if self.stop_on_failure and threshold is not None:
+                for x in X:
+                    value = broker.evaluate(x)
+                    if value is not None and value < threshold:
+                        n_fail += 1
                         stop = True
                         break
+            else:
+                batch = broker.evaluate_batch(X)
+                if threshold is not None and batch.n_evaluated:
+                    n_fail = int(np.sum(batch.y < threshold))
             fractions[i] = n_fail / self.samples_per_scale
             if stop:
                 break
+        recorder.mark_initial()
         timer.stop()
 
         extra: dict = {"failure_fractions": fractions, "scales": self.scales}
         fit = self._fit_model(fractions)
         if fit is not None:
             extra["sss_fit"] = fit
-        return RunResult(
-            X=np.asarray(all_X),
-            y=np.asarray(all_y),
-            n_init=len(all_y),
-            method="SSS",
-            runtime_seconds=timer.elapsed,
+        return recorder.finalize(
+            total_seconds=timer.elapsed,
+            eval_seconds=broker.stats.eval_seconds,
             extra=extra,
         )
 

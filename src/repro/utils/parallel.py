@@ -13,11 +13,15 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from typing import Callable, Iterable, Sequence, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Execution backends understood by :class:`WorkerPool`.
+POOL_KINDS = ("inline", "thread", "process")
 
 
 def resolve_n_jobs(n_jobs: int | None) -> int:
@@ -46,3 +50,99 @@ def parallel_map(
     )
     with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
         return list(pool.map(fn, task_list))
+
+
+def _fork_context() -> multiprocessing.context.BaseContext:
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else methods[0]
+    )
+
+
+class WorkerPool:
+    """Submit/collect execution facade with per-task timeouts.
+
+    Unlike :func:`parallel_map` (fire a batch, get results, done), a
+    :class:`WorkerPool` reports *per-task outcomes* — ``(result, error)``
+    pairs in task order — so a caller like the evaluation broker can retry
+    or degrade individual tasks instead of failing the batch.
+
+    Kinds
+    -----
+    ``inline``
+        Runs tasks sequentially in-process.  ``timeout`` cannot be
+        enforced (there is no second thread to keep the clock) and is
+        ignored.
+    ``thread``
+        A :class:`~concurrent.futures.ThreadPoolExecutor`.  A timed-out
+        task is *abandoned*, not killed — its thread runs to completion in
+        the background, so genuinely unbounded hangs should use
+        ``process``.
+    ``process``
+        A process pool (fork start method where available); tasks and
+        results must be picklable.
+    """
+
+    def __init__(self, kind: str = "thread", n_jobs: int = 1) -> None:
+        if kind not in POOL_KINDS:
+            raise ValueError(f"kind must be one of {POOL_KINDS}, got {kind!r}")
+        self.kind = kind
+        self.n_jobs = 1 if kind == "inline" else resolve_n_jobs(n_jobs)
+        self._executor: Executor | None = None
+
+    def _ensure_executor(self) -> Executor:
+        if self._executor is None:
+            if self.kind == "thread":
+                self._executor = ThreadPoolExecutor(max_workers=self.n_jobs)
+            else:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.n_jobs, mp_context=_fork_context()
+                )
+        return self._executor
+
+    def run_tasks(
+        self,
+        fn: Callable[[T], R],
+        tasks: Sequence[T],
+        timeout: float | None = None,
+    ) -> list[tuple[R | None, BaseException | None]]:
+        """Run every task, returning ``(result, error)`` per task in order.
+
+        Exactly one element of each pair is non-None.  A task exceeding
+        ``timeout`` seconds yields a :class:`TimeoutError` entry (thread /
+        process kinds only; inline ignores the deadline).
+        """
+        if self.kind == "inline":
+            outcomes: list[tuple[R | None, BaseException | None]] = []
+            for task in tasks:
+                try:
+                    outcomes.append((fn(task), None))
+                except Exception as exc:  # deliberate: report, don't raise
+                    outcomes.append((None, exc))
+            return outcomes
+        executor = self._ensure_executor()
+        futures = [executor.submit(fn, task) for task in tasks]
+        outcomes = []
+        for future in futures:
+            try:
+                outcomes.append((future.result(timeout=timeout), None))
+            except FuturesTimeoutError:
+                future.cancel()
+                outcomes.append(
+                    (None, TimeoutError(f"task exceeded {timeout}s"))
+                )
+            except Exception as exc:
+                outcomes.append((None, exc))
+        return outcomes
+
+    def close(self) -> None:
+        """Shut the pool down without waiting for abandoned tasks."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

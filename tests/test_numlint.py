@@ -246,6 +246,21 @@ class TestContractRollout:
             == []
         )
 
+    def test_runtime_modules_are_contracted_by_path(self):
+        # repro/runtime/ is opted in unconditionally: a public array
+        # function there needs a contract even without the import
+        source = (
+            "import numpy as np\n"
+            "def f(X: np.ndarray) -> np.ndarray:\n"
+            "    return X\n"
+        )
+        ctx = FileContext("src/repro/runtime/fixture.py", source)
+        found = run_passes_on_context(ctx, [get_pass("contract-rollout")])
+        assert codes(found) == ["NL530"]
+        # the same module outside the opted-in path is not in scope
+        ctx = FileContext(LIBRARY_PATH, source)
+        assert run_passes_on_context(ctx, [get_pass("contract-rollout")]) == []
+
 
 class TestSuppression:
     def test_inline_disable(self):

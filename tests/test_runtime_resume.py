@@ -1,0 +1,203 @@
+"""Campaign-level runtime tests: fault tolerance, checkpoint/resume, dedup.
+
+These exercise the acceptance criteria of the evaluation runtime on the
+UVLO testbench:
+
+* a seeded campaign under a 30% injected transient-failure rate completes
+  with exactly the ``X``/``y`` of the fault-free run;
+* a campaign killed mid-batch resumes from its ledger to a bitwise-identical
+  :class:`RunResult` without re-simulating completed points;
+* methods sharing an initial design through one :class:`RuntimePolicy`
+  perform zero duplicate simulations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bo.rembo import RemboBO
+from repro.circuits.behavioral.uvlo import UVLOTestbench
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.methods import run_method, shared_initial_data
+from repro.runtime import (
+    BrokerConfig,
+    FaultInjectingTestbench,
+    FaultPlan,
+    RunLedger,
+    RuntimePolicy,
+    read_ledger,
+    resume,
+)
+
+
+def small_engine(seed=11):
+    return RemboBO(
+        batch_size=4,
+        embedding_dim=3,
+        tune_every=1,
+        n_restarts=1,
+        seed=seed,
+    )
+
+
+def run_campaign(testbench, runtime=None, seed=11):
+    return small_engine(seed=seed).run(
+        testbench.objective("delta_vthl"),
+        testbench.bounds(),
+        n_init=6,
+        n_batches=2,
+        threshold=testbench.threshold("delta_vthl"),
+        runtime=runtime,
+    )
+
+
+class TestFaultToleratedCampaign:
+    def test_transient_faults_leave_results_identical(self):
+        clean = run_campaign(UVLOTestbench())
+        faulty_bench = FaultInjectingTestbench(
+            UVLOTestbench(),
+            FaultPlan(failure_rate=0.3, nan_fraction=0.4, seed=5),
+        )
+        runtime = RuntimePolicy(
+            config=BrokerConfig(max_retries=3, backoff_seconds=0.0)
+        )
+        faulty = run_campaign(faulty_bench, runtime=runtime)
+        assert np.array_equal(clean.X, faulty.X)
+        assert np.array_equal(clean.y, faulty.y)
+        assert clean.n_init == faulty.n_init
+
+    def test_faults_were_actually_injected(self):
+        faulty_bench = FaultInjectingTestbench(
+            UVLOTestbench(),
+            FaultPlan(failure_rate=0.3, nan_fraction=0.4, seed=5),
+        )
+        runtime = RuntimePolicy(
+            config=BrokerConfig(max_retries=3, backoff_seconds=0.0)
+        )
+        obj = faulty_bench.objective("delta_vthl")
+        from repro.runtime import EvaluationBroker
+
+        broker = EvaluationBroker(obj, runtime.config)
+        rng = np.random.default_rng(0)
+        broker.evaluate_batch(rng.uniform(-1, 1, (30, obj.dim)))
+        assert broker.stats.n_attempt_failures > 0  # the plan does fire
+
+
+class TestKillAndResume:
+    def _truncate_mid_batch(self, path):
+        """Cut the ledger after roughly half its completed events, plus the
+        torn line a kill mid-write leaves behind."""
+        lines = path.read_text(encoding="utf-8").splitlines()
+        completed_seen = 0
+        total_completed = sum(1 for li in lines if '"event":"completed"' in li)
+        keep = []
+        for line in lines:
+            keep.append(line)
+            if '"event":"completed"' in line:
+                completed_seen += 1
+                if completed_seen >= total_completed // 2:
+                    break
+        path.write_text(
+            "\n".join(keep) + "\n" + '{"event":"compl', encoding="utf-8"
+        )
+        return completed_seen
+
+    def test_resume_reproduces_uninterrupted_run(self, tmp_path):
+        ledger_path = tmp_path / "campaign.jsonl"
+        policy = RuntimePolicy(ledger=RunLedger(ledger_path))
+        uninterrupted = run_campaign(UVLOTestbench(), runtime=policy)
+        policy.ledger.close()
+        n_simulated = read_ledger(ledger_path).n_completed
+
+        n_kept = self._truncate_mid_batch(ledger_path)
+        assert 0 < n_kept < n_simulated
+
+        state = resume(ledger_path)
+        assert state.truncated
+        assert state.n_completed == n_kept
+
+        resumed_ledger = tmp_path / "resumed.jsonl"
+        resumed_policy = RuntimePolicy(
+            cache=state.cache, ledger=RunLedger(resumed_ledger)
+        )
+        resumed = run_campaign(UVLOTestbench(), runtime=resumed_policy)
+        resumed_policy.ledger.close()
+
+        # bitwise identical evaluation log
+        assert np.array_equal(uninterrupted.X, resumed.X)
+        assert np.array_equal(uninterrupted.y, resumed.y)
+        assert np.array_equal(uninterrupted.Z, resumed.Z)
+        assert uninterrupted.n_init == resumed.n_init
+
+        # completed evaluations were served from the checkpoint, not re-run
+        replay = read_ledger(resumed_ledger)
+        assert replay.n_cache_hits >= n_kept
+        assert replay.n_completed == n_simulated - n_kept
+
+    def test_resume_rejects_mismatched_decimals(self, tmp_path):
+        ledger_path = tmp_path / "campaign.jsonl"
+        policy = RuntimePolicy(ledger=RunLedger(ledger_path))
+        run_campaign(UVLOTestbench(), runtime=policy)
+        policy.ledger.close()
+        with pytest.raises(ValueError, match="cache_decimals"):
+            resume(ledger_path, decimals=6)
+
+    def test_resume_policy_appends_by_default(self, tmp_path):
+        ledger_path = tmp_path / "campaign.jsonl"
+        policy = RuntimePolicy(ledger=RunLedger(ledger_path))
+        run_campaign(UVLOTestbench(), runtime=policy)
+        policy.ledger.close()
+        state = resume(ledger_path)
+        appended = state.policy()
+        assert appended.cache is state.cache
+        assert appended.ledger.path == ledger_path
+        assert state.policy(append_ledger=False).ledger is None
+
+
+class TestSharedRuntimeDedup:
+    def test_methods_sharing_initial_design_never_resimulate(self, tmp_path):
+        cfg = ExperimentConfig(
+            n_init=4,
+            n_sequential=2,
+            batch_size=3,
+            n_batches=1,
+            mc_samples=20,
+            sss_samples_per_scale=10,
+            embedding_dim=3,
+            tune_every_sequential=1,
+            seed=3,
+        )
+        tb = UVLOTestbench()
+        runtime = RuntimePolicy.shared(ledger_path=tmp_path / "shared.jsonl")
+
+        for method in ("EI", "LCB"):
+            result = run_method(method, tb, "delta_vthl", cfg, runtime=runtime)
+            assert result.n_evaluations == cfg.bo_budget
+        runtime.ledger.close()
+
+        replay = read_ledger(tmp_path / "shared.jsonl")
+        # the acceptance criterion: zero duplicate simulations across
+        # methods sharing an initial design
+        assert replay.duplicate_simulations == 0
+        # the second method's initial design came entirely from the cache
+        assert replay.n_cache_hits >= cfg.n_init
+
+    def test_shared_initial_data_warms_shared_cache(self):
+        cfg = ExperimentConfig(
+            n_init=5,
+            n_sequential=1,
+            batch_size=2,
+            n_batches=1,
+            mc_samples=20,
+            sss_samples_per_scale=10,
+            seed=3,
+        )
+        tb = UVLOTestbench()
+        runtime = RuntimePolicy.shared()
+        X0, y0 = shared_initial_data(tb, "delta_vthl", cfg, runtime=runtime)
+        assert X0.shape == (5, tb.dim)
+        before = runtime.cache.stats["size"]
+        X1, y1 = shared_initial_data(tb, "delta_vthl", cfg, runtime=runtime)
+        assert runtime.cache.stats["size"] == before  # nothing re-simulated
+        assert np.array_equal(y0, y1)

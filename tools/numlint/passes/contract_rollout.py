@@ -30,9 +30,18 @@ from tools.numlint.shapes import DECORATOR_NAMES, contract_decorator
 #: Annotation substrings that mark a parameter/return as array-typed.
 _ARRAY_MARKERS = ("FloatArray", "IntArray", "ndarray", "ArrayLike")
 
+#: Path fragments whose modules are contracted unconditionally: new
+#: subsystems held to the contract discipline from their first commit,
+#: whether or not they happen to import the decorator yet.
+ROLLOUT_OPT_IN_FRAGMENTS = ("repro/runtime/",)
+
 
 def module_is_contracted(ctx: FileContext) -> bool:
-    """True when the module imports the ``shape_contract`` decorator."""
+    """True when the module imports ``shape_contract`` or lives under an
+    opted-in path fragment (:data:`ROLLOUT_OPT_IN_FRAGMENTS`)."""
+    relpath = ctx.relpath.replace("\\", "/")
+    if any(fragment in relpath for fragment in ROLLOUT_OPT_IN_FRAGMENTS):
+        return True
     return any(
         target in DECORATOR_NAMES or target.endswith(".shape_contract")
         for target in ctx.aliases.values()
