@@ -33,7 +33,7 @@ def _print(rows, title):
                     f"{r.worst_value:+.3f}",
                     r.n_failures,
                     r.first_failure_index or "-",
-                    format_duration(r.runtime_seconds),
+                    format_duration(r.total_seconds),
                 ]
                 for r in rows
             ],
@@ -52,7 +52,7 @@ def test_ablation_embedding_dimension(benchmark):
     _print(rows, "Ablation — embedding dimension d (Algorithm 2 picks 8)")
     assert len(rows) == 4
     # the paper's trade-off: d=16 must not be the fastest variant
-    runtimes = {r.variant: r.runtime_seconds for r in rows}
+    runtimes = {r.variant: r.total_seconds for r in rows}
     assert runtimes["d=16"] >= min(runtimes.values())
 
 

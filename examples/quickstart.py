@@ -1,27 +1,34 @@
 """Quickstart: detect a rare failure of a synthetic high-dimensional circuit.
 
 Builds a 20-dimensional objective with a 3-dimensional effective subspace
-and a rare low-value pocket, then runs the paper's full pipeline:
+and a rare low-value pocket, then runs the paper's full pipeline through
+the :class:`~repro.campaign.Campaign` facade:
 
 1. collect a small initial dataset,
 2. select an embedding dimension with Algorithm 2,
 3. run random-embedding batch BO (Algorithm 1) to hunt the failure,
+   with telemetry tracing every phase,
 4. compare with plain Monte Carlo at the same budget.
 
 Run:  python examples/quickstart.py
+The trace lands in quickstart.trace.jsonl; inspect it with
+``python -m repro.telemetry.report quickstart.trace.jsonl``.
 """
 
 import numpy as np
 
-from repro.bo import RemboBO, uniform_initial_design
+from repro.bo import RemboBO, RunSpec, uniform_initial_design
+from repro.campaign import Campaign
 from repro.embedding import select_embedding_dimension
-from repro.runtime import as_objective
+from repro.runtime import FunctionObjective
 from repro.sampling import MonteCarloSampler
 from repro.synthetic import RareFailureFunction
+from repro.telemetry import TelemetryConfig
 from repro.utils import render_table, unit_cube_bounds
 
 SEED = 2
 D, EFFECTIVE_DIM = 20, 3
+TRACE_PATH = "quickstart.trace.jsonl"
 
 
 def main() -> None:
@@ -37,7 +44,7 @@ def main() -> None:
     )
     bounds = unit_cube_bounds(D)
     # every evaluation flows through the runtime's Objective protocol
-    objective = as_objective(
+    objective = FunctionObjective(
         circuit, dim=D, bounds=bounds, cache_key="rare-failure-quickstart"
     )
 
@@ -62,19 +69,26 @@ def main() -> None:
     )
     print(f"selected embedding dimension: d = {selection.selected_dim}")
 
-    # step 3: Algorithm 1 — REMBO batch BO failure hunting
-    engine = RemboBO(
-        batch_size=5,
-        embedding_dim=max(selection.selected_dim, EFFECTIVE_DIM + 1),
-        seed=SEED,
-    )
-    result = engine.run(
+    # step 3: Algorithm 1 — REMBO batch BO failure hunting via Campaign,
+    # with a trace of every phase (gp_fit / acq_opt / evaluate spans)
+    campaign = Campaign(
         objective,
-        bounds,
-        n_batches=8,
-        threshold=circuit.threshold,
-        initial_data=(X0, y0),
+        RemboBO(
+            batch_size=5,
+            embedding_dim=max(selection.selected_dim, EFFECTIVE_DIM + 1),
+            seed=SEED,
+        ),
+        telemetry=TelemetryConfig(trace_path=TRACE_PATH),
     )
+    outcome = campaign.run(
+        RunSpec(
+            bounds=bounds,
+            n_batches=8,
+            threshold=circuit.threshold,
+            initial_data=(X0, y0),
+        )
+    )
+    result = outcome.run
     summary = result.summarize(circuit.threshold)
     print(
         f"\nproposed method: {result.n_evaluations} simulations, "
@@ -86,11 +100,20 @@ def main() -> None:
             else ""
         )
     )
+    counters = outcome.metrics["counters"]
+    print(
+        f"telemetry: {counters.get('evaluations.completed', 0)} simulations "
+        f"traced -> {outcome.trace_path} "
+        f"(python -m repro.telemetry.report {outcome.trace_path})"
+    )
 
     # step 4: Monte Carlo at the same budget misses the pocket
-    mc = MonteCarloSampler(result.n_evaluations, seed=SEED).run(
-        objective, bounds, threshold=circuit.threshold
+    mc_campaign = Campaign(
+        objective, MonteCarloSampler(result.n_evaluations, seed=SEED)
     )
+    mc = mc_campaign.run(
+        RunSpec(bounds=bounds, threshold=circuit.threshold)
+    ).run
     mc_summary = mc.summarize(circuit.threshold)
     print(
         f"Monte Carlo     : {mc.n_evaluations} simulations, "

@@ -7,6 +7,10 @@ depends on: GP regression, DIRECT-L/COBYLA optimizers, PI/EI/LCB/pBO
 acquisitions, random-embedding BO with embedding-dimension selection,
 Monte-Carlo and scaled-sigma sampling baselines, behavioral UVLO/LDO
 circuit testbenches and an MNA circuit simulator.
+
+The single documented entry point for running a campaign is
+:class:`repro.campaign.Campaign`; observability (tracing, metrics,
+profiling) lives in :mod:`repro.telemetry`.
 """
 
 __version__ = "1.0.0"

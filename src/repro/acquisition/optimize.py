@@ -18,6 +18,7 @@ from repro.optim.cobyla import Cobyla
 from repro.optim.direct import Direct
 from repro.optim.multistart import GlobalLocalOptimizer
 from repro.optim.result import OptimizationResult
+from repro.telemetry.profile import profiled
 from repro.utils.contracts import shape_contract
 from repro.utils.validation import check_bounds
 
@@ -57,6 +58,7 @@ def default_acquisition_optimizer(
     )
 
 
+@profiled("acquisition.optimize")
 @shape_contract("bounds: a(d, 2) | a(2, d)")
 def optimize_acquisition(
     acquisition: AcquisitionFunction,

@@ -3,11 +3,17 @@
 * :class:`SequentialBO` — classic EI/PI/LCB baseline BO in the full space.
 * :class:`BatchBO` — the pBO multi-weight batch baseline [5].
 * :class:`RemboBO` — the proposed random-embedding batch BO (Algorithm 1).
+* :class:`RunSpec` / :class:`EngineProtocol` — the shared keyword-only
+  ``solve(objective=..., spec=..., policy=..., telemetry=..., rng=...)``
+  entry point every engine implements (the legacy ``run(...)`` methods are
+  deprecated wrappers).
 * :class:`Specification` / :class:`RunResult` — spec folding and run logs.
 """
 
 from repro.bo.batch import BatchBO
 from repro.bo.engine import (
+    EngineProtocol,
+    RunSpec,
     SurrogateManager,
     default_kernel_factory,
     uniform_initial_design,
@@ -22,6 +28,8 @@ __all__ = [
     "SequentialBO",
     "BatchBO",
     "RemboBO",
+    "RunSpec",
+    "EngineProtocol",
     "Specification",
     "RunResult",
     "RunRecorder",

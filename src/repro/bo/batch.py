@@ -9,7 +9,8 @@ and the inner engine of the proposed method when run in an embedded space.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+import warnings
+from typing import Sequence
 
 import numpy as np
 
@@ -18,17 +19,23 @@ from repro.acquisition.optimize import default_acquisition_optimizer
 from repro.bo.engine import (
     KernelFactory,
     OptimizerFactory,
+    RunSpec,
     SurrogateManager,
+    annotate_gp_fit,
     resolve_bounds,
     uniform_initial_design,
 )
 from repro.bo.propose import propose_batch
 from repro.bo.records import RunRecorder, RunResult
 from repro.runtime.broker import RuntimePolicy, make_broker
-from repro.runtime.objective import Objective, coerce_objective
+from repro.runtime.objective import Objective, require_objective
+from repro.telemetry.config import TelemetryLike, resolve_telemetry
 from repro.utils.rng import SeedLike, as_generator, spawn
 from repro.utils.timing import Timer
 from repro.utils.validation import as_matrix, as_vector
+
+#: Engine default when ``RunSpec.n_batches`` is None.
+DEFAULT_N_BATCHES = 5
 
 
 class BatchBO:
@@ -86,33 +93,44 @@ class BatchBO:
         self.n_jobs = int(n_jobs)
         self._rng = as_generator(seed)
 
-    def run(
+    def solve(
         self,
-        objective: Objective | Callable[[np.ndarray], float],
-        bounds=None,
-        n_init: int = 5,
-        n_batches: int = 5,
-        threshold: float | None = None,
-        initial_data: tuple[np.ndarray, np.ndarray] | None = None,
-        runtime: RuntimePolicy | None = None,
+        *,
+        objective: Objective,
+        spec: RunSpec | None = None,
+        policy: RuntimePolicy | None = None,
+        telemetry: TelemetryLike = None,
+        rng: SeedLike = None,
     ) -> RunResult:
-        """Run ``n_batches`` batches of ``batch_size`` simulations each."""
-        objective = coerce_objective(objective, bounds)
-        lower, upper, box = resolve_bounds(objective, bounds)
+        """Run ``spec.n_batches`` batches of ``batch_size`` simulations each."""
+        objective = require_objective(objective, type(self).__name__)
+        spec = spec if spec is not None else RunSpec()
+        tele = resolve_telemetry(telemetry)
+        tracer = tele.tracer
+        lower, upper, box = resolve_bounds(objective, spec.bounds)
         dim = lower.shape[0]
-        rng_init, rng_model = spawn(self._rng, 2)
+        base_rng = as_generator(rng) if rng is not None else self._rng
+        rng_init, rng_model = spawn(base_rng, 2)
+        n_batches = (
+            spec.n_batches if spec.n_batches is not None else DEFAULT_N_BATCHES
+        )
+        threshold = spec.threshold
 
         recorder = RunRecorder(method="pBO", model_dim=dim)
-        broker = make_broker(objective, runtime, recorder=recorder, method="pBO")
+        broker = make_broker(
+            objective, policy, recorder=recorder, method="pBO", telemetry=tele
+        )
 
         timer = Timer().start()
-        if initial_data is not None:
-            X = as_matrix(initial_data[0], dim).copy()
-            y = as_vector(initial_data[1], X.shape[0]).copy()
+        if spec.initial_data is not None:
+            X = as_matrix(spec.initial_data[0], dim).copy()
+            y = as_vector(spec.initial_data[1], X.shape[0]).copy()
             recorder.record_initial(X, y)
         else:
-            X0 = uniform_initial_design(box, n_init, seed=rng_init)
-            batch = broker.evaluate_batch(X0)
+            with tracer.span("init_design", n_init=spec.n_init) as span:
+                X0 = uniform_initial_design(box, spec.n_init, seed=rng_init)
+                batch = broker.evaluate_batch(X0)
+                span.set("n_evaluated", batch.n_evaluated)
             recorder.mark_initial()
             X, y = batch.X, batch.y
         if y.size == 0:
@@ -130,18 +148,24 @@ class BatchBO:
             seed=rng_model,
         )
 
-        for _ in range(n_batches):
-            gp = manager.refit(X, y)
-            proposal = propose_batch(
-                gp,
-                self.weights,
-                box,
-                optimizer_factory=self.acquisition_optimizer_factory,
-                n_jobs=self.n_jobs,
-            )
-            recorder.add_acquisition(proposal.n_evaluations)
-            new_X = np.clip(proposal.X, lower, upper)
-            batch = broker.evaluate_batch(new_X)
+        for iteration in range(n_batches):
+            with tracer.span("iteration", index=iteration) as it_span:
+                with tracer.span("gp_fit", n_train=int(y.size)) as fit_span:
+                    gp = manager.refit(X, y)
+                    annotate_gp_fit(fit_span, manager)
+                with tracer.span("acq_opt") as acq_span:
+                    proposal = propose_batch(
+                        gp,
+                        self.weights,
+                        box,
+                        optimizer_factory=self.acquisition_optimizer_factory,
+                        n_jobs=self.n_jobs,
+                    )
+                    acq_span.set("fevals", proposal.n_evaluations)
+                recorder.add_acquisition(proposal.n_evaluations)
+                new_X = np.clip(proposal.X, lower, upper)
+                batch = broker.evaluate_batch(new_X)
+                it_span.set("n_evaluated", batch.n_evaluated)
             if batch.n_evaluated:
                 X = np.vstack([X, batch.X])
                 y = np.concatenate([y, batch.y])
@@ -158,3 +182,29 @@ class BatchBO:
             total_seconds=timer.elapsed,
             eval_seconds=broker.stats.eval_seconds,
         )
+
+    def run(
+        self,
+        objective: Objective,
+        bounds=None,
+        n_init: int = 5,
+        n_batches: int = DEFAULT_N_BATCHES,
+        threshold: float | None = None,
+        initial_data: tuple[np.ndarray, np.ndarray] | None = None,
+        runtime: RuntimePolicy | None = None,
+    ) -> RunResult:
+        """Deprecated positional entry point; use :meth:`solve`."""
+        warnings.warn(
+            "BatchBO.run() is deprecated; use "
+            "solve(objective=..., spec=RunSpec(...)) or the Campaign facade",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        spec = RunSpec(
+            bounds=bounds,
+            n_init=n_init,
+            n_batches=n_batches,
+            threshold=threshold,
+            initial_data=initial_data,
+        )
+        return self.solve(objective=objective, spec=spec, policy=runtime)

@@ -8,27 +8,113 @@ live here.
 
 from __future__ import annotations
 
-from typing import Callable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
 
 import numpy as np
 
-from repro.gp.hyperopt import fit_hyperparameters
+from repro.gp.hyperopt import HyperoptResult, fit_hyperparameters
 from repro.gp.model import GaussianProcess
 from repro.gp.standardize import Standardizer
 from repro.kernels.stationary import Matern52
 from repro.optim.base import Optimizer
-from repro.runtime.objective import resolve_bounds  # noqa: F401 — engine-facing re-export
+from repro.runtime.objective import Objective, resolve_bounds  # noqa: F401 — engine-facing re-export
+from repro.telemetry.config import TelemetryLike
 from repro.utils.contracts import shape_contract
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import as_matrix, as_vector, check_bounds
+
+if TYPE_CHECKING:
+    from repro.bo.records import RunResult
+    from repro.runtime.broker import RuntimePolicy
 
 KernelFactory = Callable[[int], object]
 OptimizerFactory = Callable[[int], Optimizer]
 
 
+@dataclass(frozen=True)
+class RunSpec:
+    """What one engine run should do, independent of how it is wired.
+
+    The spec carries the *problem-shaped* arguments every engine shares —
+    bounds, initial design, evaluation budget, failure threshold — while
+    runtime wiring (cache/ledger/failure policy) travels separately as a
+    :class:`~repro.runtime.broker.RuntimePolicy` and observability as a
+    :class:`~repro.telemetry.Telemetry`.
+
+    Parameters
+    ----------
+    bounds:
+        Search box; may be None for an :class:`Objective` that declares
+        its own.
+    n_init:
+        Initial-design size (ignored when ``initial_data`` is given).
+    budget:
+        Total evaluation budget for sequential engines; None applies the
+        engine default.
+    n_batches:
+        Batch count for batch engines; None applies the engine default.
+    threshold:
+        Failure threshold ``T`` (minimization orientation: ``y < T``).
+    initial_data:
+        Precomputed ``(X0, y0)`` shared across methods, as in the paper.
+    """
+
+    bounds: object | None = None
+    n_init: int = 5
+    budget: int | None = None
+    n_batches: int | None = None
+    threshold: float | None = None
+    initial_data: tuple[np.ndarray, np.ndarray] | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_init < 1:
+            raise ValueError(f"n_init must be >= 1, got {self.n_init}")
+        if self.budget is not None and self.budget < 1:
+            raise ValueError(f"budget must be >= 1, got {self.budget}")
+        if self.n_batches is not None and self.n_batches < 0:
+            raise ValueError(f"n_batches must be >= 0, got {self.n_batches}")
+
+
+@runtime_checkable
+class EngineProtocol(Protocol):
+    """The one entry point every BO engine and sampler exposes.
+
+    Implementations: :class:`~repro.bo.loop.SequentialBO`,
+    :class:`~repro.bo.batch.BatchBO`, :class:`~repro.bo.rembo.RemboBO`
+    (and, duck-typed, the sampling baselines).  The legacy positional
+    ``run(...)`` methods remain as deprecated wrappers over ``solve``.
+    """
+
+    def solve(
+        self,
+        *,
+        objective: Objective,
+        spec: "RunSpec | None" = None,
+        policy: "RuntimePolicy | None" = None,
+        telemetry: TelemetryLike = None,
+        rng: SeedLike = None,
+    ) -> "RunResult": ...
+
+
 def default_kernel_factory(dim: int):
     """Matérn-5/2 with ARD, the usual BO default (paper cites both SE and Matérn)."""
     return Matern52(dim=dim, ard=True)
+
+
+def annotate_gp_fit(span, manager: "SurrogateManager") -> None:
+    """Attach the surrogate refit's hyperopt outcome to a ``gp_fit`` span.
+
+    No-op attributes on the null span when telemetry is off; when the
+    refit skipped tuning (``tune_every`` cadence) only ``tuned=False`` is
+    recorded.
+    """
+    span.set("tuned", manager.last_refit_tuned)
+    if manager.last_refit_tuned and manager.last_hyperopt is not None:
+        hyper = manager.last_hyperopt
+        span.set("lml", float(hyper.log_marginal_likelihood))
+        span.set("restarts", int(hyper.n_restarts))
+        span.set("fevals", int(hyper.n_evaluations))
 
 
 
@@ -82,6 +168,11 @@ class SurrogateManager:
         self.standardizer = Standardizer()
         self.gp: GaussianProcess | None = None
         self._refit_count = 0
+        #: Result of the most recent hyperparameter search (telemetry reads
+        #: this to attribute LML/restart/feval counts to the gp_fit span).
+        self.last_hyperopt: HyperoptResult | None = None
+        #: Whether the most recent :meth:`refit` ran a hyperparameter search.
+        self.last_refit_tuned = False
 
     def refit(self, X, y) -> GaussianProcess:
         """(Re)train the surrogate on the full dataset in model space.
@@ -115,6 +206,11 @@ class SurrogateManager:
         else:
             gp.fit(X, y_std)
         if self._refit_count % self.tune_every == 0:
-            fit_hyperparameters(gp, n_restarts=self.n_restarts, seed=self._rng)
+            self.last_hyperopt = fit_hyperparameters(
+                gp, n_restarts=self.n_restarts, seed=self._rng
+            )
+            self.last_refit_tuned = True
+        else:
+            self.last_refit_tuned = False
         self._refit_count += 1
         return gp

@@ -8,7 +8,7 @@ per iteration, one simulation per iteration.  Its failure on the 19- and
 
 from __future__ import annotations
 
-from typing import Callable
+import warnings
 
 import numpy as np
 
@@ -21,13 +21,16 @@ from repro.acquisition.optimize import default_acquisition_optimizer
 from repro.bo.engine import (
     KernelFactory,
     OptimizerFactory,
+    RunSpec,
     SurrogateManager,
+    annotate_gp_fit,
     resolve_bounds,
     uniform_initial_design,
 )
 from repro.bo.records import RunRecorder, RunResult
 from repro.runtime.broker import RuntimePolicy, make_broker
-from repro.runtime.objective import Objective, coerce_objective
+from repro.runtime.objective import Objective, require_objective
+from repro.telemetry.config import TelemetryLike, resolve_telemetry
 from repro.utils.rng import SeedLike, as_generator, spawn
 from repro.utils.timing import Timer
 from repro.utils.validation import as_matrix, as_vector
@@ -38,6 +41,9 @@ ACQUISITIONS = {
     "pi": lambda gp, xi, kappa: ProbabilityOfImprovement(gp, xi=xi),
     "lcb": lambda gp, xi, kappa: LowerConfidenceBound(gp, kappa=kappa),
 }
+
+#: Engine default when ``RunSpec.budget`` is None.
+DEFAULT_BUDGET = 100
 
 
 class SequentialBO:
@@ -55,8 +61,8 @@ class SequentialBO:
         Builds the inner optimizer for a given dimension; defaults to the
         paper's DIRECT-L + COBYLA stack.
     stop_on_failure:
-        Optionally terminate as soon as the objective drops below
-        ``threshold`` (passed to :meth:`run`).
+        Optionally terminate as soon as the objective drops below the
+        spec's ``threshold``.
     """
 
     def __init__(
@@ -89,45 +95,60 @@ class SequentialBO:
         self.stop_on_failure = bool(stop_on_failure)
         self._rng = as_generator(seed)
 
-    def run(
+    def solve(
         self,
-        objective: Objective | Callable[[np.ndarray], float],
-        bounds=None,
-        n_init: int = 5,
-        budget: int = 100,
-        threshold: float | None = None,
-        initial_data: tuple[np.ndarray, np.ndarray] | None = None,
-        runtime: RuntimePolicy | None = None,
+        *,
+        objective: Objective,
+        spec: RunSpec | None = None,
+        policy: RuntimePolicy | None = None,
+        telemetry: TelemetryLike = None,
+        rng: SeedLike = None,
     ) -> RunResult:
-        """Spend ``budget`` total objective evaluations minimizing ``objective``.
+        """Spend ``spec.budget`` total objective evaluations minimizing.
 
-        ``initial_data`` (``X0, y0``) reuses precomputed simulations — the
-        paper shares one initial dataset across all BO methods; when given,
-        ``n_init`` is ignored and no extra initial simulations are spent.
-        ``bounds`` may be omitted for an :class:`Objective` that declares
-        its own.  All simulations route through the evaluation runtime
-        (``runtime`` supplies shared cache / ledger / failure policy).
+        ``spec.initial_data`` (``X0, y0``) reuses precomputed simulations —
+        the paper shares one initial dataset across all BO methods; when
+        given, ``spec.n_init`` is ignored and no extra initial simulations
+        are spent.  ``spec.bounds`` may be omitted for an
+        :class:`Objective` that declares its own.  All simulations route
+        through the evaluation runtime (``policy`` supplies shared
+        cache / ledger / failure policy); ``telemetry`` receives
+        ``init_design`` / ``iteration`` / ``gp_fit`` / ``acq_opt`` /
+        ``evaluate`` spans and broker metrics.  ``rng`` overrides the
+        constructor seed for this run.
         """
-        objective = coerce_objective(objective, bounds)
-        lower, upper, box = resolve_bounds(objective, bounds)
+        objective = require_objective(objective, type(self).__name__)
+        spec = spec if spec is not None else RunSpec()
+        tele = resolve_telemetry(telemetry)
+        tracer = tele.tracer
+        lower, upper, box = resolve_bounds(objective, spec.bounds)
         dim = lower.shape[0]
-        rng_init, rng_model = spawn(self._rng, 2)
+        base_rng = as_generator(rng) if rng is not None else self._rng
+        rng_init, rng_model = spawn(base_rng, 2)
+        budget = spec.budget if spec.budget is not None else DEFAULT_BUDGET
+        threshold = spec.threshold
 
         method = self.acquisition.upper()
         recorder = RunRecorder(method=method, model_dim=dim)
-        broker = make_broker(objective, runtime, recorder=recorder, method=method)
+        broker = make_broker(
+            objective, policy, recorder=recorder, method=method, telemetry=tele
+        )
 
         timer = Timer().start()
-        if initial_data is not None:
-            X = as_matrix(initial_data[0], dim).copy()
-            y = as_vector(initial_data[1], X.shape[0]).copy()
+        if spec.initial_data is not None:
+            X = as_matrix(spec.initial_data[0], dim).copy()
+            y = as_vector(spec.initial_data[1], X.shape[0]).copy()
             recorder.record_initial(X, y)
         else:
-            X0 = uniform_initial_design(box, n_init, seed=rng_init)
-            batch = broker.evaluate_batch(X0)
+            with tracer.span("init_design", n_init=spec.n_init) as span:
+                X0 = uniform_initial_design(box, spec.n_init, seed=rng_init)
+                batch = broker.evaluate_batch(X0)
+                span.set("n_evaluated", batch.n_evaluated)
             recorder.mark_initial()
             X, y = batch.X, batch.y
-        n_spent = max(X.shape[0], n_init if initial_data is None else 0)
+        n_spent = max(
+            X.shape[0], spec.n_init if spec.initial_data is None else 0
+        )
         if budget < n_spent:
             raise ValueError(
                 f"budget {budget} smaller than initial design {n_spent}"
@@ -148,6 +169,7 @@ class SequentialBO:
         )
         build = ACQUISITIONS[self.acquisition]
 
+        iteration = 0
         while n_spent < budget:
             if (
                 self.stop_on_failure
@@ -155,13 +177,20 @@ class SequentialBO:
                 and np.min(y) < threshold
             ):
                 break
-            gp = manager.refit(X, y)
-            acq = build(gp, self.xi, self.kappa)
-            optimizer = self.acquisition_optimizer_factory(dim)
-            result = optimizer.minimize(acq, box)
-            recorder.add_acquisition(result.n_evaluations)
-            x_next = np.clip(result.x, lower, upper)
-            y_next = broker.evaluate(x_next)
+            with tracer.span("iteration", index=iteration) as it_span:
+                with tracer.span("gp_fit", n_train=int(y.size)) as fit_span:
+                    gp = manager.refit(X, y)
+                    annotate_gp_fit(fit_span, manager)
+                acq = build(gp, self.xi, self.kappa)
+                optimizer = self.acquisition_optimizer_factory(dim)
+                with tracer.span("acq_opt") as acq_span:
+                    result = optimizer.minimize(acq, box)
+                    acq_span.set("fevals", result.n_evaluations)
+                recorder.add_acquisition(result.n_evaluations)
+                x_next = np.clip(result.x, lower, upper)
+                y_next = broker.evaluate(x_next)
+                it_span.set("n_evaluated", 0 if y_next is None else 1)
+            iteration += 1
             n_spent += 1
             if y_next is None:  # dropped by the skip policy
                 continue
@@ -173,3 +202,29 @@ class SequentialBO:
             total_seconds=timer.elapsed,
             eval_seconds=broker.stats.eval_seconds,
         )
+
+    def run(
+        self,
+        objective: Objective,
+        bounds=None,
+        n_init: int = 5,
+        budget: int = DEFAULT_BUDGET,
+        threshold: float | None = None,
+        initial_data: tuple[np.ndarray, np.ndarray] | None = None,
+        runtime: RuntimePolicy | None = None,
+    ) -> RunResult:
+        """Deprecated positional entry point; use :meth:`solve`."""
+        warnings.warn(
+            "SequentialBO.run() is deprecated; use "
+            "solve(objective=..., spec=RunSpec(...)) or the Campaign facade",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        spec = RunSpec(
+            bounds=bounds,
+            n_init=n_init,
+            budget=budget,
+            threshold=threshold,
+            initial_data=initial_data,
+        )
+        return self.solve(objective=objective, spec=spec, policy=runtime)

@@ -23,6 +23,7 @@ from repro.acquisition.optimize import default_acquisition_optimizer
 from repro.gp.model import GaussianProcess
 from repro.optim.direct import Direct
 from repro.optim.multistart import GlobalLocalOptimizer
+from repro.telemetry.profile import profiled
 from repro.utils.contracts import shape_contract
 from repro.utils.parallel import parallel_map
 from repro.utils.validation import check_bounds
@@ -65,6 +66,7 @@ def _search_task(task) -> tuple[np.ndarray, int]:
     return result.x, result.n_evaluations
 
 
+@profiled("bo.propose_batch")
 @shape_contract("weights: a(n_w,), bounds: a(d, 2) | a(2, d)")
 def propose_batch(
     gp: GaussianProcess,

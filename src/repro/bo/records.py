@@ -30,15 +30,13 @@ class RunResult:
         How many leading rows are initial (non-adaptive) samples.
     method:
         Short method label (``"MC"``, ``"EI"``, ``"REMBO-pBO"``, ...).
-    runtime_seconds:
-        Total wall-clock including objective evaluations.  Kept for table
-        compatibility; when ``eval_seconds``/``overhead_seconds`` are
-        provided it is (made) their sum.
     eval_seconds:
         Time spent inside objective evaluations (simulations) only.
     overhead_seconds:
         Everything else — surrogate fits, acquisition optimization,
-        bookkeeping.  ``runtime_seconds = eval_seconds + overhead_seconds``.
+        bookkeeping.  Total wall clock is the derived
+        :attr:`total_seconds` property (the old stored
+        ``runtime_seconds`` field completed its deprecation cycle).
     acquisition_evaluations:
         Total acquisition-function evaluations spent (0 for samplers).
     model_dim:
@@ -52,7 +50,6 @@ class RunResult:
     y: np.ndarray
     n_init: int
     method: str = ""
-    runtime_seconds: float = 0.0
     eval_seconds: float = 0.0
     overhead_seconds: float = 0.0
     acquisition_evaluations: int = 0
@@ -67,11 +64,11 @@ class RunResult:
             raise ValueError(
                 f"n_init={self.n_init} outside [0, {self.X.shape[0]}]"
             )
-        # Historical callers set runtime_seconds only; new callers provide
-        # the eval/overhead split and runtime_seconds is derived as the sum.
-        split = self.eval_seconds + self.overhead_seconds
-        if self.runtime_seconds == 0.0 and split > 0.0:
-            self.runtime_seconds = split
+
+    @property
+    def total_seconds(self) -> float:
+        """Total wall clock: evaluation time plus everything else."""
+        return self.eval_seconds + self.overhead_seconds
 
     @property
     def n_evaluations(self) -> int:
@@ -103,7 +100,7 @@ class RunResult:
             worst_value=self.best_y,
             n_failures=int(failures.size),
             first_failure_index=first,
-            runtime_seconds=self.runtime_seconds,
+            total_seconds=self.total_seconds,
             failure_indices=failures,
         )
 
@@ -173,7 +170,6 @@ class RunRecorder:
             y=np.array(self._y, dtype=float),
             n_init=self._n_init,
             method=self.method,
-            runtime_seconds=float(total_seconds),
             eval_seconds=float(eval_seconds),
             overhead_seconds=overhead,
             acquisition_evaluations=self._acquisition_evaluations,
@@ -192,7 +188,7 @@ class FailureSummary:
     worst_value: float
     n_failures: int
     first_failure_index: int | None
-    runtime_seconds: float
+    total_seconds: float
     failure_indices: np.ndarray = field(default_factory=lambda: np.empty(0, int))
 
     @property

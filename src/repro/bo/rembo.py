@@ -19,7 +19,8 @@ from (paper Sections 3-4).
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+import warnings
+from typing import Sequence
 
 import numpy as np
 
@@ -28,7 +29,9 @@ from repro.acquisition.optimize import default_acquisition_optimizer
 from repro.bo.engine import (
     KernelFactory,
     OptimizerFactory,
+    RunSpec,
     SurrogateManager,
+    annotate_gp_fit,
     resolve_bounds,
     uniform_initial_design,
 )
@@ -40,11 +43,15 @@ from repro.embedding.dimension_selection import (
 )
 from repro.embedding.random_embedding import RandomEmbedding
 from repro.runtime.broker import RuntimePolicy, make_broker
-from repro.runtime.objective import Objective, coerce_objective
+from repro.runtime.objective import Objective, require_objective
+from repro.telemetry.config import TelemetryLike, resolve_telemetry
 from repro.utils.contracts import shape_contract
 from repro.utils.rng import SeedLike, as_generator, spawn
 from repro.utils.timing import Timer
 from repro.utils.validation import as_matrix, as_vector
+
+#: Engine default when ``RunSpec.n_batches`` is None.
+DEFAULT_N_BATCHES = 5
 
 
 class RemboBO:
@@ -115,42 +122,57 @@ class RemboBO:
         self.n_jobs = int(n_jobs)
         self._rng = as_generator(seed)
 
-    @shape_contract("bounds?: a(D, 2) | a(2, D)")
-    def run(
+    def solve(
         self,
-        objective: Objective | Callable[[np.ndarray], float],
-        bounds=None,
-        n_init: int = 5,
-        n_batches: int = 5,
-        threshold: float | None = None,
-        initial_data: tuple[np.ndarray, np.ndarray] | None = None,
-        runtime: RuntimePolicy | None = None,
+        *,
+        objective: Objective,
+        spec: RunSpec | None = None,
+        policy: RuntimePolicy | None = None,
+        telemetry: TelemetryLike = None,
+        rng: SeedLike = None,
     ) -> RunResult:
         """Execute Algorithm 1; returns the full evaluation log.
 
         The result's ``extra`` dict carries the fitted
         :class:`RandomEmbedding` (``"embedding"``) and, when Algorithm 2
         ran, its :class:`DimensionSelectionResult` (``"dimension_selection"``).
+        ``telemetry`` additionally receives ``dimension_selection`` /
+        ``embedding_setup`` spans and a per-iteration ``clip_fraction``
+        attribute (how much of ``A z`` the projection ``p_Ω`` moved).
         """
-        objective = coerce_objective(objective, bounds)
-        lower, upper, box = resolve_bounds(objective, bounds)
+        objective = require_objective(objective, type(self).__name__)
+        spec = spec if spec is not None else RunSpec()
+        tele = resolve_telemetry(telemetry)
+        tracer = tele.tracer
+        lower, upper, box = resolve_bounds(objective, spec.bounds)
         D = lower.shape[0]
-        rng_init, rng_dimsel, rng_embed, rng_model = spawn(self._rng, 4)
+        base_rng = as_generator(rng) if rng is not None else self._rng
+        rng_init, rng_dimsel, rng_embed, rng_model = spawn(base_rng, 4)
+        n_batches = (
+            spec.n_batches if spec.n_batches is not None else DEFAULT_N_BATCHES
+        )
+        threshold = spec.threshold
 
         recorder = RunRecorder(method="REMBO-pBO")
         broker = make_broker(
-            objective, runtime, recorder=recorder, method="REMBO-pBO"
+            objective,
+            policy,
+            recorder=recorder,
+            method="REMBO-pBO",
+            telemetry=tele,
         )
 
         timer = Timer().start()
         # initial dataset D_0, sampled (or supplied) in the original space
-        if initial_data is not None:
-            X = as_matrix(initial_data[0], D).copy()
-            y = as_vector(initial_data[1], X.shape[0]).copy()
+        if spec.initial_data is not None:
+            X = as_matrix(spec.initial_data[0], D).copy()
+            y = as_vector(spec.initial_data[1], X.shape[0]).copy()
             recorder.record_initial(X, y)
         else:
-            X0 = uniform_initial_design(box, n_init, seed=rng_init)
-            batch = broker.evaluate_batch(X0)
+            with tracer.span("init_design", n_init=spec.n_init) as span:
+                X0 = uniform_initial_design(box, spec.n_init, seed=rng_init)
+                batch = broker.evaluate_batch(X0)
+                span.set("n_evaluated", batch.n_evaluated)
             recorder.mark_initial()
             X, y = batch.X, batch.y
         if y.size == 0:
@@ -167,24 +189,28 @@ class RemboBO:
                 raise ValueError(f"embedding_dim {d} exceeds problem dim {D}")
         else:
             candidates = self.dimension_candidates or _default_candidates(D)
-            selection = select_embedding_dimension(
-                X,
-                y,
-                dims=candidates,
-                n_trials=self.dimension_trials,
-                tolerance=self.dimension_tolerance,
-                seed=rng_dimsel,
-            )
-            d = selection.selected_dim
+            with tracer.span(
+                "dimension_selection", n_candidates=len(list(candidates))
+            ) as span:
+                selection = select_embedding_dimension(
+                    X,
+                    y,
+                    dims=candidates,
+                    n_trials=self.dimension_trials,
+                    tolerance=self.dimension_tolerance,
+                    seed=rng_dimsel,
+                )
+                d = selection.selected_dim
+                span.set("selected_dim", d)
 
         # line 2: sample the random matrix A
-        embedding = RandomEmbedding(D, d, bounds=box, seed=rng_embed)
-        z_box = embedding.z_bounds()
-        z_lower, z_upper = z_box[:, 0], z_box[:, 1]
-
         # line 3: initial model in the embedded space via the pseudo-inverse
-        Z = embedding.to_embedded(X)
-        Z = np.clip(Z, z_lower, z_upper)
+        with tracer.span("embedding_setup", D=D, d=d):
+            embedding = RandomEmbedding(D, d, bounds=box, seed=rng_embed)
+            z_box = embedding.z_bounds()
+            z_lower, z_upper = z_box[:, 0], z_box[:, 1]
+            Z = embedding.to_embedded(X)
+            Z = np.clip(Z, z_lower, z_upper)
         manager = SurrogateManager(
             d,
             kernel_factory=self.kernel_factory,
@@ -196,19 +222,28 @@ class RemboBO:
         recorder.model_dim = d
 
         # lines 5-15: batched sequential design
-        for _ in range(n_batches):
-            gp = manager.refit(Z, y)
-            proposal = propose_batch(
-                gp,
-                self.weights,
-                z_box,
-                optimizer_factory=self.acquisition_optimizer_factory,
-                n_jobs=self.n_jobs,
-            )
-            recorder.add_acquisition(proposal.n_evaluations)
-            new_Z = np.clip(proposal.X, z_lower, z_upper)
-            new_X = embedding.to_original(new_Z)  # x = p_Omega(A z), Eq. 11
-            batch = broker.evaluate_batch(new_X)
+        for iteration in range(n_batches):
+            with tracer.span("iteration", index=iteration) as it_span:
+                with tracer.span("gp_fit", n_train=int(y.size)) as fit_span:
+                    gp = manager.refit(Z, y)
+                    annotate_gp_fit(fit_span, manager)
+                with tracer.span("acq_opt") as acq_span:
+                    proposal = propose_batch(
+                        gp,
+                        self.weights,
+                        z_box,
+                        optimizer_factory=self.acquisition_optimizer_factory,
+                        n_jobs=self.n_jobs,
+                    )
+                    acq_span.set("fevals", proposal.n_evaluations)
+                recorder.add_acquisition(proposal.n_evaluations)
+                new_Z = np.clip(proposal.X, z_lower, z_upper)
+                # x = p_Omega(A z), Eq. 11; clip_fraction is the telemetry
+                # signal for the embedding pressing against the box
+                new_X, clip_fraction = embedding.project(new_Z)
+                it_span.set("clip_fraction", clip_fraction)
+                batch = broker.evaluate_batch(new_X)
+                it_span.set("n_evaluated", batch.n_evaluated)
             if batch.n_evaluated:
                 # under the skip policy only evaluated rows (batch.index)
                 # enter the model — keep Z aligned with X row for row
@@ -233,6 +268,33 @@ class RemboBO:
             Z=Z,
             extra=extra,
         )
+
+    @shape_contract("bounds?: a(D, 2) | a(2, D)")
+    def run(
+        self,
+        objective: Objective,
+        bounds=None,
+        n_init: int = 5,
+        n_batches: int = DEFAULT_N_BATCHES,
+        threshold: float | None = None,
+        initial_data: tuple[np.ndarray, np.ndarray] | None = None,
+        runtime: RuntimePolicy | None = None,
+    ) -> RunResult:
+        """Deprecated positional entry point; use :meth:`solve`."""
+        warnings.warn(
+            "RemboBO.run() is deprecated; use "
+            "solve(objective=..., spec=RunSpec(...)) or the Campaign facade",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        spec = RunSpec(
+            bounds=bounds,
+            n_init=n_init,
+            n_batches=n_batches,
+            threshold=threshold,
+            initial_data=initial_data,
+        )
+        return self.solve(objective=objective, spec=spec, policy=runtime)
 
 
 def _default_candidates(D: int) -> list[int]:

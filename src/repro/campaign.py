@@ -1,0 +1,154 @@
+"""The consolidated entry point for running a failure-detection campaign.
+
+Everything a campaign needs — the objective, an engine, runtime wiring and
+observability — meets in one documented place::
+
+    from repro.bo import RemboBO, RunSpec
+    from repro.campaign import Campaign
+    from repro.runtime import RuntimePolicy
+    from repro.telemetry import TelemetryConfig
+
+    campaign = Campaign(
+        objective=testbench.objective("vth_plus"),
+        engine=RemboBO(batch_size=19, seed=7),
+        policy=RuntimePolicy.shared(ledger_path="runs/uvlo.jsonl"),
+        telemetry=TelemetryConfig(trace_path="runs/uvlo.trace.jsonl"),
+        seed=7,
+    )
+    outcome = campaign.run(RunSpec(n_init=20, n_batches=10, threshold=T))
+    outcome.run.summarize(T)          # table row
+    outcome.metrics["counters"]       # broker counters
+    # per-phase breakdown: python -m repro.telemetry.report runs/uvlo.trace.jsonl
+
+The campaign opens the root ``campaign`` span (every engine span nests
+under it), materializes/owns the telemetry lifecycle when handed a
+:class:`~repro.telemetry.TelemetryConfig`, and re-seeds the engine per run
+so repeated ``run()`` calls of one campaign are independent replicas of
+the same seeded experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any
+
+from repro.bo.engine import EngineProtocol, RunSpec
+from repro.bo.records import RunResult
+from repro.runtime.broker import RuntimePolicy
+from repro.runtime.objective import Objective, require_objective
+from repro.telemetry.config import (
+    Telemetry,
+    TelemetryConfig,
+    TelemetryLike,
+    resolve_telemetry,
+)
+from repro.utils.rng import SeedLike
+
+
+@dataclass
+class CampaignResult:
+    """One campaign run: the evaluation log plus its observability artifacts."""
+
+    run: RunResult
+    spec: RunSpec
+    metrics: dict[str, Any] = field(default_factory=dict)
+    trace_path: Path | None = None
+    ledger_path: Path | None = None
+
+    @property
+    def method(self) -> str:
+        return self.run.method
+
+
+class Campaign:
+    """Bind an objective to an engine, runtime policy and telemetry.
+
+    Parameters
+    ----------
+    objective:
+        An :class:`~repro.runtime.objective.Objective` (wrap plain
+        callables with :class:`~repro.runtime.objective.FunctionObjective`).
+    engine:
+        Any :class:`~repro.bo.engine.EngineProtocol` implementation —
+        the BO engines or the sampling baselines.
+    policy:
+        Optional shared :class:`~repro.runtime.broker.RuntimePolicy`
+        (cache / ledger / failure policy).
+    telemetry:
+        ``None`` (off), a :class:`~repro.telemetry.TelemetryConfig`
+        (materialized fresh and closed per :meth:`run` — each run gets its
+        own complete trace file), or a live
+        :class:`~repro.telemetry.Telemetry` the caller owns.
+    seed:
+        When given, each :meth:`run` re-seeds the engine with this value,
+        making repeated runs bitwise-identical replicas; when None the
+        engine's own constructor seed advances across runs.
+    """
+
+    def __init__(
+        self,
+        objective: Objective,
+        engine: EngineProtocol,
+        *,
+        policy: RuntimePolicy | None = None,
+        telemetry: TelemetryLike = None,
+        seed: SeedLike = None,
+    ) -> None:
+        self.objective = require_objective(objective, "Campaign")
+        if not isinstance(engine, EngineProtocol):
+            raise TypeError(
+                f"engine must implement solve(objective=..., spec=...), "
+                f"got {type(engine).__name__}"
+            )
+        self.engine = engine
+        self.policy = policy
+        self.telemetry = telemetry
+        self.seed = seed
+
+    def run(self, spec: RunSpec | None = None, **overrides: Any) -> CampaignResult:
+        """Execute the engine once under the campaign's wiring.
+
+        ``spec`` defaults to ``RunSpec()``; keyword overrides patch
+        individual fields (``campaign.run(n_batches=10, threshold=T)``).
+        """
+        if spec is None:
+            spec = RunSpec(**overrides)
+        elif overrides:
+            spec = replace(spec, **overrides)
+
+        owns_telemetry = isinstance(self.telemetry, TelemetryConfig)
+        tele: Telemetry = resolve_telemetry(self.telemetry)
+        try:
+            with tele.tracer.span(
+                "campaign",
+                engine=type(self.engine).__name__,
+                cache_key=self.objective.cache_key,
+            ) as span:
+                result = self.engine.solve(
+                    objective=self.objective,
+                    spec=spec,
+                    policy=self.policy,
+                    telemetry=tele,
+                    rng=self.seed,
+                )
+                span.set("method", result.method)
+                span.set("n_evaluations", result.n_evaluations)
+            metrics = tele.snapshot()
+            trace_path = getattr(tele.tracer, "path", None)
+        finally:
+            if owns_telemetry:
+                tele.close()
+
+        ledger = self.policy.ledger if self.policy is not None else None
+        ledger_path = Path(ledger.path) if ledger is not None else None
+        return CampaignResult(
+            run=result,
+            spec=spec,
+            metrics=metrics,
+            trace_path=trace_path,
+            ledger_path=ledger_path,
+        )
+
+
+__all__ = ["Campaign", "CampaignResult"]

@@ -108,6 +108,23 @@ class RandomEmbedding:
         X = clip_to_box(Z_mat @ self.matrix.T, self.lower, self.upper)
         return X[0] if single else X
 
+    def project(self, Z: ArrayLike) -> tuple[FloatArray, float]:
+        """Like :meth:`to_original`, plus the clipped-coordinate fraction.
+
+        The second return is the fraction of coordinates of ``A z`` that
+        fell outside ``Ω`` and were moved by ``p_Ω`` — the telemetry
+        signal for how hard the embedding is pressing against the box
+        (persistently high fractions mean the embedded box ``Z`` maps
+        mostly onto faces of ``Ω`` and the effective search space shrinks).
+        """
+        Z_arr = np.asarray(Z, dtype=float)
+        single = Z_arr.ndim == 1
+        Z_mat = as_matrix(Z_arr, self.embedded_dim, name="z")
+        raw = Z_mat @ self.matrix.T
+        X = clip_to_box(raw, self.lower, self.upper)
+        clipped = float(np.mean(raw != X)) if raw.size else 0.0
+        return (X[0] if single else X), clipped
+
     def to_original_unclipped(self, Z: ArrayLike) -> FloatArray:
         """``A z`` without the projection, for diagnostics and ablations."""
         Z_arr = np.asarray(Z, dtype=float)

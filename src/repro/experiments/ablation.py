@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.acquisition.optimize import default_acquisition_optimizer
+from repro.bo.engine import RunSpec
 from repro.bo.records import RunResult
 from repro.bo.rembo import RemboBO
 from repro.circuits.behavioral.base import CircuitTestbench
@@ -36,7 +37,7 @@ class AblationRow:
     worst_value: float
     n_failures: int
     first_failure_index: int | None
-    runtime_seconds: float
+    total_seconds: float
 
 
 def _summary_row(variant: str, result: RunResult, threshold: float) -> AblationRow:
@@ -46,7 +47,7 @@ def _summary_row(variant: str, result: RunResult, threshold: float) -> AblationR
         worst_value=result.best_y,
         n_failures=summary.n_failures,
         first_failure_index=summary.first_failure_index,
-        runtime_seconds=result.runtime_seconds,
+        total_seconds=result.total_seconds,
     )
 
 
@@ -70,12 +71,14 @@ def _run_rembo(
     )
     kwargs.update(overrides)
     engine = RemboBO(**kwargs)
-    return engine.run(
-        testbench.objective(spec_name),
-        testbench.bounds(),
-        n_batches=cfg.n_batches,
-        threshold=testbench.threshold(spec_name),
-        initial_data=initial_data,
+    return engine.solve(
+        objective=testbench.objective(spec_name),
+        spec=RunSpec(
+            bounds=testbench.bounds(),
+            n_batches=cfg.n_batches,
+            threshold=testbench.threshold(spec_name),
+            initial_data=initial_data,
+        ),
     )
 
 

@@ -1,10 +1,12 @@
 """Method registry: every row of the paper's Tables 1-2 as a runnable.
 
-``run_method(name, ...)`` executes one (method, spec) cell and returns the
-full :class:`RunResult`; ``METHOD_ORDER`` fixes the paper's row order.  All
-BO methods share the same initial dataset (as the paper's setups do) and
-the same acquisition-evaluation caps; the proposed method differs only by
-operating through the random embedding.
+``build_engine(name, cfg)`` constructs the engine/sampler behind one table
+row; ``run_method(name, ...)`` executes one (method, spec) cell through the
+shared :meth:`solve` entry point and returns the full :class:`RunResult`;
+``METHOD_ORDER`` fixes the paper's row order.  All BO methods share the
+same initial dataset (as the paper's setups do) and the same
+acquisition-evaluation caps; the proposed method differs only by operating
+through the random embedding.
 """
 
 from __future__ import annotations
@@ -15,7 +17,7 @@ import numpy as np
 
 from repro.acquisition.optimize import default_acquisition_optimizer
 from repro.bo.batch import BatchBO
-from repro.bo.engine import uniform_initial_design
+from repro.bo.engine import EngineProtocol, RunSpec, uniform_initial_design
 from repro.bo.loop import SequentialBO
 from repro.bo.records import RunResult
 from repro.bo.rembo import RemboBO
@@ -24,6 +26,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.runtime.broker import EvaluationBroker, RuntimePolicy
 from repro.sampling.monte_carlo import MonteCarloSampler
 from repro.sampling.sss import ScaledSigmaSampler
+from repro.telemetry.config import TelemetryLike
 from repro.utils.rng import SeedLike
 
 #: Paper row order in Tables 1-2.
@@ -34,6 +37,85 @@ def _acq_factory(cfg: ExperimentConfig) -> Callable:
     return lambda dim: default_acquisition_optimizer(
         dim, global_budget=cfg.global_budget, local_budget=cfg.local_budget
     )
+
+
+def build_engine(
+    name: str, cfg: ExperimentConfig, seed: SeedLike = None
+) -> EngineProtocol:
+    """Construct the engine/sampler behind one :data:`METHOD_ORDER` row.
+
+    The returned object satisfies :class:`EngineProtocol`; run it via
+    ``solve(objective=..., spec=...)`` or hand it to a
+    :class:`~repro.campaign.Campaign`.
+    """
+    seed = cfg.seed if seed is None else seed
+    if name == "MC":
+        return MonteCarloSampler(cfg.mc_samples, seed=seed)
+    if name == "SSS":
+        return ScaledSigmaSampler(
+            cfg.sss_samples_per_scale, scales=cfg.sss_scales, seed=seed
+        )
+    if name in ("EI", "PI", "LCB"):
+        return SequentialBO(
+            acquisition=name.lower(),
+            kernel_factory=cfg.kernel_factory(),
+            noise_variance=cfg.noise_variance,
+            tune_every=cfg.tune_every_sequential,
+            acquisition_optimizer_factory=_acq_factory(cfg),
+            seed=seed,
+        )
+    if name == "pBO":
+        return BatchBO(
+            batch_size=cfg.batch_size,
+            kernel_factory=cfg.kernel_factory(),
+            noise_variance=cfg.noise_variance,
+            tune_every=cfg.tune_every_batch,
+            acquisition_optimizer_factory=_acq_factory(cfg),
+            seed=seed,
+        )
+    if name == "This work":
+        return RemboBO(
+            batch_size=cfg.batch_size,
+            embedding_dim=cfg.embedding_dim,
+            dimension_trials=cfg.dimension_trials,
+            kernel_factory=cfg.kernel_factory(),
+            noise_variance=cfg.noise_variance,
+            tune_every=cfg.tune_every_batch,
+            acquisition_optimizer_factory=_acq_factory(cfg),
+            seed=seed,
+        )
+    raise ValueError(f"unknown method {name!r}; options: {METHOD_ORDER}")
+
+
+def method_spec(
+    name: str,
+    testbench: CircuitTestbench,
+    spec_name: str,
+    cfg: ExperimentConfig,
+    initial_data: tuple[np.ndarray, np.ndarray] | None = None,
+) -> RunSpec:
+    """The :class:`RunSpec` one table cell runs under."""
+    bounds = testbench.bounds()
+    threshold = testbench.threshold(spec_name)
+    if name in ("MC", "SSS"):
+        return RunSpec(bounds=bounds, threshold=threshold)
+    if name in ("EI", "PI", "LCB"):
+        return RunSpec(
+            bounds=bounds,
+            n_init=cfg.n_init,
+            budget=cfg.bo_budget,
+            threshold=threshold,
+            initial_data=initial_data,
+        )
+    if name in ("pBO", "This work"):
+        return RunSpec(
+            bounds=bounds,
+            n_init=cfg.n_init,
+            n_batches=cfg.n_batches,
+            threshold=threshold,
+            initial_data=initial_data,
+        )
+    raise ValueError(f"unknown method {name!r}; options: {METHOD_ORDER}")
 
 
 def shared_initial_data(
@@ -75,85 +157,22 @@ def run_method(
     initial_data: tuple[np.ndarray, np.ndarray] | None = None,
     seed: SeedLike = None,
     runtime: RuntimePolicy | None = None,
+    telemetry: TelemetryLike = None,
 ) -> RunResult:
     """Execute one method against one spec and return its evaluation log.
 
     ``runtime`` threads a shared :class:`RuntimePolicy` (cache / ledger /
     failure policy) through the method's evaluations; methods sharing a
     policy never re-simulate a point any of them has already evaluated.
+    ``telemetry`` receives the engine's spans and broker metrics.
     """
     objective = testbench.objective(spec_name)
-    threshold = testbench.threshold(spec_name)
-    bounds = testbench.bounds()
-    seed = cfg.seed if seed is None else seed
-
-    if name == "MC":
-        sampler = MonteCarloSampler(cfg.mc_samples, seed=seed)
-        return sampler.run(objective, bounds, threshold=threshold, runtime=runtime)
-
-    if name == "SSS":
-        sampler = ScaledSigmaSampler(
-            cfg.sss_samples_per_scale, scales=cfg.sss_scales, seed=seed
+    engine = build_engine(name, cfg, seed=seed)
+    if name not in ("MC", "SSS") and initial_data is None:
+        initial_data = shared_initial_data(
+            testbench, spec_name, cfg, runtime=runtime
         )
-        return sampler.run(objective, bounds, threshold=threshold, runtime=runtime)
-
-    if initial_data is None:
-        initial_data = shared_initial_data(testbench, spec_name, cfg, runtime=runtime)
-
-    if name in ("EI", "PI", "LCB"):
-        engine = SequentialBO(
-            acquisition=name.lower(),
-            kernel_factory=cfg.kernel_factory(),
-            noise_variance=cfg.noise_variance,
-            tune_every=cfg.tune_every_sequential,
-            acquisition_optimizer_factory=_acq_factory(cfg),
-            seed=seed,
-        )
-        return engine.run(
-            objective,
-            bounds,
-            budget=cfg.bo_budget,
-            threshold=threshold,
-            initial_data=initial_data,
-            runtime=runtime,
-        )
-
-    if name == "pBO":
-        engine = BatchBO(
-            batch_size=cfg.batch_size,
-            kernel_factory=cfg.kernel_factory(),
-            noise_variance=cfg.noise_variance,
-            tune_every=cfg.tune_every_batch,
-            acquisition_optimizer_factory=_acq_factory(cfg),
-            seed=seed,
-        )
-        return engine.run(
-            objective,
-            bounds,
-            n_batches=cfg.n_batches,
-            threshold=threshold,
-            initial_data=initial_data,
-            runtime=runtime,
-        )
-
-    if name == "This work":
-        engine = RemboBO(
-            batch_size=cfg.batch_size,
-            embedding_dim=cfg.embedding_dim,
-            dimension_trials=cfg.dimension_trials,
-            kernel_factory=cfg.kernel_factory(),
-            noise_variance=cfg.noise_variance,
-            tune_every=cfg.tune_every_batch,
-            acquisition_optimizer_factory=_acq_factory(cfg),
-            seed=seed,
-        )
-        return engine.run(
-            objective,
-            bounds,
-            n_batches=cfg.n_batches,
-            threshold=threshold,
-            initial_data=initial_data,
-            runtime=runtime,
-        )
-
-    raise ValueError(f"unknown method {name!r}; options: {METHOD_ORDER}")
+    spec = method_spec(name, testbench, spec_name, cfg, initial_data=initial_data)
+    return engine.solve(
+        objective=objective, spec=spec, policy=runtime, telemetry=telemetry
+    )

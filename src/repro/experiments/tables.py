@@ -140,7 +140,7 @@ def run_table(
                 if summary.detected
                 else "-"
             ),
-            runtime=format_duration(result.runtime_seconds),
+            runtime=format_duration(result.total_seconds),
             summary=summary,
             result=result if keep_results else None,
             repeat=repeat,

@@ -21,6 +21,7 @@ from scipy.optimize import minimize
 
 from repro.gp.evaluator import MarginalLikelihoodEvaluator
 from repro.gp.model import GaussianProcess
+from repro.telemetry.profile import profiled
 from repro.utils.rng import SeedLike, as_generator
 
 
@@ -34,6 +35,7 @@ class HyperoptResult:
     n_evaluations: int
 
 
+@profiled("gp.hyperopt.fit")
 def fit_hyperparameters(
     gp: GaussianProcess,
     n_restarts: int = 3,

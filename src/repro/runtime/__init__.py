@@ -2,7 +2,7 @@
 
 Public surface of the evaluation layer described in DESIGN.md §10:
 
-* :class:`Objective` / :func:`as_objective` — the unified objective
+* :class:`Objective` / :class:`FunctionObjective` — the unified objective
   protocol every engine and sampler consumes;
 * :class:`EvaluationBroker` / :class:`BrokerConfig` /
   :class:`RuntimePolicy` — dispatch, retry, timeout and failure policy;
@@ -36,8 +36,8 @@ from repro.runtime.ledger import LEDGER_VERSION, LedgerReplay, RunLedger, read_l
 from repro.runtime.objective import (
     FunctionObjective,
     Objective,
-    as_objective,
-    coerce_objective,
+    require_objective,
+    resolve_bounds,
 )
 from repro.runtime.resume import ResumeState, resume
 
@@ -62,10 +62,10 @@ __all__ = [
     "RunLedger",
     "RuntimePolicy",
     "TransientSimulationError",
-    "as_objective",
-    "coerce_objective",
     "make_broker",
     "point_digest",
     "read_ledger",
+    "require_objective",
+    "resolve_bounds",
     "resume",
 ]

@@ -38,14 +38,15 @@ import math
 import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Any, Callable
+from typing import Any
 
 import numpy as np
 
 from repro._typing import FloatArray, IntArray
 from repro.runtime.cache import DEFAULT_DECIMALS, ResultCache
 from repro.runtime.ledger import LEDGER_VERSION, RunLedger
-from repro.runtime.objective import Objective, as_objective
+from repro.runtime.objective import Objective, require_objective
+from repro.telemetry.config import TelemetryLike, resolve_telemetry
 from repro.utils.parallel import POOL_KINDS, WorkerPool
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import as_matrix
@@ -193,7 +194,8 @@ class EvaluationBroker:
     ----------
     objective:
         An :class:`~repro.runtime.objective.Objective` (wrap legacy
-        callables with :func:`~repro.runtime.objective.as_objective`).
+        callables explicitly with
+        :class:`~repro.runtime.objective.FunctionObjective`).
     config:
         Dispatch/retry/policy knobs; defaults are zero-overhead inline
         execution with fail-fast semantics compatible with direct calls.
@@ -206,22 +208,33 @@ class EvaluationBroker:
     recorder:
         Optional :class:`~repro.bo.records.RunRecorder` fed every
         surviving evaluation, in order.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry`.  Each completed
+        simulation emits an ``evaluate`` span (worker-measured duration,
+        parented under whatever span the dispatching thread has open, with
+        the ledger ``id`` as attribute — the trace/ledger join key) and
+        the metrics registry accumulates completed / cache-hit / retry /
+        timeout / policy counters plus a duration histogram.
     seed:
         Stream for backoff jitter only (never touches caller RNG state).
     """
 
     def __init__(
         self,
-        objective: Objective | Callable,
+        objective: Objective,
         config: BrokerConfig | None = None,
         cache: ResultCache | None = None,
         ledger: RunLedger | None = None,
         recorder: Any | None = None,
         campaign: dict[str, Any] | None = None,
+        telemetry: TelemetryLike = None,
         seed: SeedLike = 0,
     ) -> None:
-        self.objective = as_objective(objective)
+        self.objective = require_objective(objective, "EvaluationBroker")
         self.config = config if config is not None else BrokerConfig()
+        self.telemetry = resolve_telemetry(telemetry)
+        self._tracer = self.telemetry.tracer
+        self._metrics = self.telemetry.metrics
         self.cache = (
             cache
             if cache is not None
@@ -286,11 +299,13 @@ class EvaluationBroker:
             ) from error
         if policy == "skip":
             self.stats.n_skipped += 1
+            self._metrics.counter("evaluations.skipped").inc()
             dropped[pending.pos] = True
             self._log({"event": "skipped", "id": pending.eval_id})
         else:  # penalty
             penalty = float(self.config.penalty_value)  # type: ignore[arg-type]
             self.stats.n_penalized += 1
+            self._metrics.counter("evaluations.penalized").inc()
             values[pending.pos] = penalty
             self._log(
                 {"event": "penalized", "id": pending.eval_id, "y": penalty}
@@ -316,6 +331,7 @@ class EvaluationBroker:
             hit = self.cache.get(digest)
             if hit is not None:
                 self.stats.n_cache_hits += 1
+                self._metrics.counter("cache.hits").inc()
                 values[pos] = hit
                 self._log(
                     {
@@ -331,6 +347,7 @@ class EvaluationBroker:
                 duplicates.append((pos, eval_id, digest))
             else:
                 first_pos[digest] = pos
+                self._metrics.counter("cache.misses").inc()
                 pending.append(_Pending(pos, eval_id, X[pos], digest))
 
         if pending:
@@ -344,6 +361,7 @@ class EvaluationBroker:
                 self._log({"event": "skipped", "id": eval_id})
             elif digest in self.cache:  # completed (penalties are not cached)
                 self.stats.n_cache_hits += 1
+                self._metrics.counter("cache.hits").inc()
                 values[pos] = values[lead]
                 self._log(
                     {
@@ -407,6 +425,18 @@ class EvaluationBroker:
                         self.stats.eval_seconds += seconds
                         values[p.pos] = value
                         self.cache.put(p.digest, value)
+                        # worker-measured duration, parented under whatever
+                        # span (iteration/init_design) is open right now —
+                        # the id attribute is the trace<->ledger join key
+                        self._tracer.record_span(
+                            "evaluate",
+                            seconds,
+                            {"id": p.eval_id, "attempt": attempt, "y": value},
+                        )
+                        self._metrics.counter("evaluations.completed").inc()
+                        self._metrics.histogram("evaluations.seconds").observe(
+                            seconds
+                        )
                         self._log(
                             {
                                 "event": "completed",
@@ -421,6 +451,9 @@ class EvaluationBroker:
                         )
                     else:
                         self.stats.n_attempt_failures += 1
+                        self._metrics.counter("evaluations.attempt_failures").inc()
+                        if isinstance(error, TimeoutError):
+                            self._metrics.counter("evaluations.timeouts").inc()
                         timed_out = timed_out or isinstance(error, TimeoutError)
                         self._log(
                             {
@@ -440,6 +473,7 @@ class EvaluationBroker:
                     return
                 delay = self._backoff_delay(attempt)
                 self.stats.n_retries += len(failed)
+                self._metrics.counter("evaluations.retries").inc(len(failed))
                 for p, _ in failed:
                     self._log(
                         {
@@ -504,10 +538,11 @@ class RuntimePolicy:
 
 
 def make_broker(
-    objective: Objective | Callable,
+    objective: Objective,
     runtime: RuntimePolicy | None = None,
     recorder: Any | None = None,
     method: str = "",
+    telemetry: TelemetryLike = None,
 ) -> EvaluationBroker:
     """Build the broker one engine run uses, honoring a shared policy."""
     policy = runtime if runtime is not None else RuntimePolicy()
@@ -519,6 +554,7 @@ def make_broker(
         ledger=policy.ledger,
         recorder=recorder,
         campaign=campaign,
+        telemetry=telemetry,
     )
 
 

@@ -31,7 +31,7 @@ import numpy as np
 
 from repro._typing import FloatArray
 from repro.runtime.cache import DEFAULT_DECIMALS, point_digest
-from repro.runtime.objective import Objective, as_objective
+from repro.runtime.objective import Objective, require_objective
 from repro.utils.rng import as_generator
 
 
@@ -89,8 +89,8 @@ class FaultInjectingObjective(Objective):
     the function being computed, and cached values must match the clean run.
     """
 
-    def __init__(self, inner: Objective | Any, plan: FaultPlan | None = None) -> None:
-        self._inner = as_objective(inner)
+    def __init__(self, inner: Objective, plan: FaultPlan | None = None) -> None:
+        self._inner = require_objective(inner, "FaultInjectingObjective")
         self.plan = plan if plan is not None else FaultPlan()
         self._attempts: dict[str, int] = {}
         self._lock = threading.Lock()

@@ -11,16 +11,15 @@ keys results on.
 
 Migration
 ---------
-Existing scalar/row callables keep working two ways:
+Plain scalar/row callables are wrapped explicitly, once::
 
-* explicitly — wrap once with :func:`as_objective`::
+    objective = FunctionObjective(my_fn, dim=19, bounds=bounds)
+    campaign = Campaign(objective, engine)
 
-      objective = as_objective(my_fn, dim=19)
-      engine.run(objective, bounds)
-
-* implicitly — engines still accept a bare callable and wrap it
-  themselves through :func:`coerce_objective`, which emits a
-  :class:`DeprecationWarning`; this shim path is kept for one release.
+The implicit coercion shims (``as_objective`` / ``coerce_objective``) that
+accepted bare callables at every engine boundary completed their one-release
+deprecation cycle and are gone; the runtime now requires a real
+:class:`Objective` (see :func:`require_objective`).
 
 For backward compatibility :meth:`Objective.__call__` also accepts a single
 1-D row and returns a plain float, so an :class:`Objective` is a drop-in
@@ -30,13 +29,11 @@ replacement anywhere a legacy row callable was expected.
 from __future__ import annotations
 
 import abc
-import warnings
 from typing import Callable
 
 import numpy as np
 
 from repro._typing import ArrayLike, FloatArray
-from repro.utils.contracts import shape_contract
 from repro.utils.validation import as_matrix, check_bounds
 
 
@@ -148,34 +145,19 @@ class FunctionObjective(Objective):
         return np.array([float(self._fn(x)) for x in X], dtype=float)
 
 
-@shape_contract("bounds?: a(d, 2) | a(2, d)")
-def as_objective(
-    fn: Callable | Objective,
-    dim: int | None = None,
-    bounds: ArrayLike | None = None,
-    cache_key: str | None = None,
-    vectorized: bool = False,
-) -> Objective:
-    """Return ``fn`` as an :class:`Objective`, wrapping plain callables.
+def require_objective(objective: object, who: str = "the evaluation runtime") -> Objective:
+    """Validate that ``objective`` implements the :class:`Objective` protocol.
 
-    An existing :class:`Objective` passes through untouched.  A bare
-    callable needs ``dim`` (or ``bounds`` to infer it from).  This is the
-    supported migration shim for legacy row callables.
+    The single choke point replacing the removed coercion shims: anything
+    that is not an :class:`Objective` raises a :class:`TypeError` naming
+    the explicit wrapper to use.
     """
-    if isinstance(fn, Objective):
-        return fn
-    if not callable(fn):
-        raise TypeError(f"objective must be callable, got {type(fn).__name__}")
-    if dim is None:
-        if bounds is None:
-            raise TypeError(
-                "as_objective needs dim= (or bounds= to infer it) for a "
-                "bare callable"
-            )
-        lower, _ = check_bounds(bounds)
-        dim = lower.shape[0]
-    return FunctionObjective(
-        fn, dim, bounds=bounds, cache_key=cache_key, vectorized=vectorized
+    if isinstance(objective, Objective):
+        return objective
+    raise TypeError(
+        f"{who} requires an Objective, got {type(objective).__name__}; "
+        "wrap plain callables explicitly with "
+        "FunctionObjective(fn, dim=..., bounds=...)"
     )
 
 
@@ -197,37 +179,9 @@ def resolve_bounds(objective, bounds):
     return lower, upper, np.column_stack([lower, upper])
 
 
-@shape_contract("bounds?: a(d, 2) | a(2, d)")
-def coerce_objective(
-    fn: Callable | Objective, bounds: ArrayLike | None = None
-) -> Objective:
-    """Engine-boundary shim: accept legacy callables one more release.
-
-    Engines and samplers call this on their ``objective`` argument; bare
-    callables are wrapped via :func:`as_objective` with a
-    :class:`DeprecationWarning` pointing at the migration path.
-    """
-    if isinstance(fn, Objective):
-        return fn
-    warnings.warn(
-        "passing a bare callable objective is deprecated; wrap it with "
-        "repro.runtime.as_objective(fn, dim=...) (the shim will be removed "
-        "after one release)",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-    if bounds is None:
-        raise TypeError(
-            "cannot infer the objective dimension: pass an Objective or "
-            "provide bounds"
-        )
-    return as_objective(fn, bounds=bounds)
-
-
 __all__ = [
     "Objective",
     "FunctionObjective",
-    "as_objective",
-    "coerce_objective",
+    "require_objective",
     "resolve_bounds",
 ]

@@ -16,14 +16,16 @@ The classifier is a from-scratch ridge-regularized logistic regression
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Callable
 
 import numpy as np
 
+from repro.bo.engine import RunSpec
 from repro.bo.records import RunRecorder, RunResult
 from repro.runtime.broker import RuntimePolicy, make_broker
-from repro.runtime.objective import Objective, coerce_objective, resolve_bounds
+from repro.runtime.objective import Objective, require_objective, resolve_bounds
+from repro.telemetry.config import TelemetryLike, resolve_telemetry
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.timing import Timer
 from repro.utils.validation import as_matrix, as_vector
@@ -135,12 +137,14 @@ class StatisticalBlockade:
         self.probability_cutoff = float(probability_cutoff)
         self._rng = as_generator(seed)
 
-    def run(
+    def solve(
         self,
-        objective: Objective | Callable[[np.ndarray], float],
-        bounds=None,
-        threshold: float | None = None,
-        runtime: RuntimePolicy | None = None,
+        *,
+        objective: Objective,
+        spec: RunSpec | None = None,
+        policy: RuntimePolicy | None = None,
+        telemetry: TelemetryLike = None,
+        rng: SeedLike = None,
     ) -> RunResult:
         """Pilot, train, filter, simulate unblocked candidates.
 
@@ -148,18 +152,23 @@ class StatisticalBlockade:
         :class:`BlockadeDiagnostics`; total simulations = pilot plus
         unblocked candidates.
         """
-        objective = coerce_objective(objective, bounds)
-        lower, upper, _ = resolve_bounds(objective, bounds)
+        objective = require_objective(objective, type(self).__name__)
+        spec = spec if spec is not None else RunSpec()
+        tele = resolve_telemetry(telemetry)
+        sample_rng = as_generator(rng) if rng is not None else self._rng
+        lower, upper, _ = resolve_bounds(objective, spec.bounds)
         dim = lower.shape[0]
         recorder = RunRecorder(method="Blockade")
         broker = make_broker(
-            objective, runtime, recorder=recorder, method="Blockade"
+            objective, policy, recorder=recorder, method="Blockade",
+            telemetry=tele,
         )
         timer = Timer().start()
 
-        pilot = broker.evaluate_batch(
-            self._rng.uniform(lower, upper, size=(self.pilot_samples, dim))
-        )
+        with tele.tracer.span("init_design", n_init=self.pilot_samples):
+            pilot = broker.evaluate_batch(
+                sample_rng.uniform(lower, upper, size=(self.pilot_samples, dim))
+            )
         recorder.mark_initial()
         pilot_X, pilot_y = pilot.X, pilot.y
         if pilot_y.size == 0:
@@ -172,7 +181,7 @@ class StatisticalBlockade:
         margin_threshold = float(np.quantile(pilot_y, self.margin_quantile))
         labels = (pilot_y <= margin_threshold).astype(float)
 
-        candidates = self._rng.uniform(
+        candidates = sample_rng.uniform(
             lower, upper, size=(self.candidate_samples, dim)
         )
         if labels.min() == labels.max():
@@ -184,8 +193,11 @@ class StatisticalBlockade:
             proba = classifier.predict_proba(candidates)
             unblocked = candidates[proba >= self.probability_cutoff]
 
-        if unblocked.size:
-            broker.evaluate_batch(unblocked)
+        with tele.tracer.span(
+            "sampling", n_unblocked=int(unblocked.shape[0])
+        ):
+            if unblocked.size:
+                broker.evaluate_batch(unblocked)
         timer.stop()
 
         return recorder.finalize(
@@ -200,3 +212,20 @@ class StatisticalBlockade:
                 )
             },
         )
+
+    def run(
+        self,
+        objective: Objective,
+        bounds=None,
+        threshold: float | None = None,
+        runtime: RuntimePolicy | None = None,
+    ) -> RunResult:
+        """Deprecated positional entry point; use :meth:`solve`."""
+        warnings.warn(
+            "StatisticalBlockade.run() is deprecated; use "
+            "solve(objective=..., spec=RunSpec(...)) or the Campaign facade",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        spec = RunSpec(bounds=bounds, threshold=threshold)
+        return self.solve(objective=objective, spec=spec, policy=runtime)

@@ -6,13 +6,13 @@ the large hyper-cube, uniform sampling distribution is adopted for MC."
 
 from __future__ import annotations
 
-from typing import Callable
+import warnings
 
-import numpy as np
-
+from repro.bo.engine import RunSpec
 from repro.bo.records import RunRecorder, RunResult
 from repro.runtime.broker import RuntimePolicy, make_broker
-from repro.runtime.objective import Objective, coerce_objective, resolve_bounds
+from repro.runtime.objective import Objective, require_objective, resolve_bounds
+from repro.telemetry.config import TelemetryLike, resolve_telemetry
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.timing import Timer
 
@@ -40,30 +40,58 @@ class MonteCarloSampler:
         self.stop_on_failure = bool(stop_on_failure)
         self._rng = as_generator(seed)
 
-    def run(
+    def solve(
         self,
-        objective: Objective | Callable[[np.ndarray], float],
-        bounds=None,
-        threshold: float | None = None,
-        runtime: RuntimePolicy | None = None,
+        *,
+        objective: Objective,
+        spec: RunSpec | None = None,
+        policy: RuntimePolicy | None = None,
+        telemetry: TelemetryLike = None,
+        rng: SeedLike = None,
     ) -> RunResult:
-        objective = coerce_objective(objective, bounds)
-        lower, upper, _ = resolve_bounds(objective, bounds)
+        objective = require_objective(objective, type(self).__name__)
+        spec = spec if spec is not None else RunSpec()
+        tele = resolve_telemetry(telemetry)
+        sample_rng = as_generator(rng) if rng is not None else self._rng
+        lower, upper, _ = resolve_bounds(objective, spec.bounds)
+        threshold = spec.threshold
         recorder = RunRecorder(method="MC")
-        broker = make_broker(objective, runtime, recorder=recorder, method="MC")
+        broker = make_broker(
+            objective, policy, recorder=recorder, method="MC", telemetry=tele
+        )
 
         timer = Timer().start()
-        X = self._rng.uniform(lower, upper, size=(self.n_samples, lower.shape[0]))
-        if self.stop_on_failure and threshold is not None:
-            for x in X:
-                value = broker.evaluate(x)
-                if value is not None and value < threshold:
-                    break
-        else:
-            broker.evaluate_batch(X)
+        X = sample_rng.uniform(
+            lower, upper, size=(self.n_samples, lower.shape[0])
+        )
+        with tele.tracer.span("sampling", n_samples=self.n_samples):
+            if self.stop_on_failure and threshold is not None:
+                for x in X:
+                    value = broker.evaluate(x)
+                    if value is not None and value < threshold:
+                        break
+            else:
+                broker.evaluate_batch(X)
         recorder.mark_initial()
         timer.stop()
         return recorder.finalize(
             total_seconds=timer.elapsed,
             eval_seconds=broker.stats.eval_seconds,
         )
+
+    def run(
+        self,
+        objective: Objective,
+        bounds=None,
+        threshold: float | None = None,
+        runtime: RuntimePolicy | None = None,
+    ) -> RunResult:
+        """Deprecated positional entry point; use :meth:`solve`."""
+        warnings.warn(
+            "MonteCarloSampler.run() is deprecated; use "
+            "solve(objective=..., spec=RunSpec(...)) or the Campaign facade",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        spec = RunSpec(bounds=bounds, threshold=threshold)
+        return self.solve(objective=objective, spec=spec, policy=runtime)

@@ -22,14 +22,17 @@ point inside the verification region.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Sequence
 
 import numpy as np
 
+from repro.bo.engine import RunSpec
 from repro.bo.records import RunRecorder, RunResult
 from repro.runtime.broker import RuntimePolicy, make_broker
-from repro.runtime.objective import Objective, coerce_objective, resolve_bounds
+from repro.runtime.objective import Objective, require_objective, resolve_bounds
+from repro.telemetry.config import TelemetryLike, resolve_telemetry
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.timing import Timer
 
@@ -99,12 +102,14 @@ class ScaledSigmaSampler:
     def n_samples(self) -> int:
         return self.samples_per_scale * self.scales.size
 
-    def run(
+    def solve(
         self,
-        objective: Objective | Callable[[np.ndarray], float],
-        bounds=None,
-        threshold: float | None = None,
-        runtime: RuntimePolicy | None = None,
+        *,
+        objective: Objective,
+        spec: RunSpec | None = None,
+        policy: RuntimePolicy | None = None,
+        telemetry: TelemetryLike = None,
+        rng: SeedLike = None,
     ) -> RunResult:
         """Sample every scale, simulate, and fit the extrapolation model.
 
@@ -112,36 +117,46 @@ class ScaledSigmaSampler:
         (when enough scales failed to fit one) in ``extra["sss_fit"]`` and
         the per-scale failure fractions in ``extra["failure_fractions"]``.
         """
-        objective = coerce_objective(objective, bounds)
-        lower, upper, _ = resolve_bounds(objective, bounds)
+        objective = require_objective(objective, type(self).__name__)
+        spec = spec if spec is not None else RunSpec()
+        tele = resolve_telemetry(telemetry)
+        sample_rng = as_generator(rng) if rng is not None else self._rng
+        lower, upper, _ = resolve_bounds(objective, spec.bounds)
+        threshold = spec.threshold
         dim = lower.shape[0]
         center = 0.5 * (lower + upper)
         half_span = 0.5 * (upper - lower)
         recorder = RunRecorder(method="SSS")
-        broker = make_broker(objective, runtime, recorder=recorder, method="SSS")
+        broker = make_broker(
+            objective, policy, recorder=recorder, method="SSS", telemetry=tele
+        )
 
         timer = Timer().start()
         fractions = np.zeros(self.scales.size)
         stop = False
         for i, scale in enumerate(self.scales):
-            sigma = scale * self.sigma_fraction * half_span
-            X = center + self._rng.standard_normal(
-                (self.samples_per_scale, dim)
-            ) * sigma
-            X = np.clip(X, lower, upper)
-            n_fail = 0
-            if self.stop_on_failure and threshold is not None:
-                for x in X:
-                    value = broker.evaluate(x)
-                    if value is not None and value < threshold:
-                        n_fail += 1
-                        stop = True
-                        break
-            else:
-                batch = broker.evaluate_batch(X)
-                if threshold is not None and batch.n_evaluated:
-                    n_fail = int(np.sum(batch.y < threshold))
-            fractions[i] = n_fail / self.samples_per_scale
+            with tele.tracer.span(
+                "sampling", scale=float(scale), n_samples=self.samples_per_scale
+            ) as span:
+                sigma = scale * self.sigma_fraction * half_span
+                X = center + sample_rng.standard_normal(
+                    (self.samples_per_scale, dim)
+                ) * sigma
+                X = np.clip(X, lower, upper)
+                n_fail = 0
+                if self.stop_on_failure and threshold is not None:
+                    for x in X:
+                        value = broker.evaluate(x)
+                        if value is not None and value < threshold:
+                            n_fail += 1
+                            stop = True
+                            break
+                else:
+                    batch = broker.evaluate_batch(X)
+                    if threshold is not None and batch.n_evaluated:
+                        n_fail = int(np.sum(batch.y < threshold))
+                fractions[i] = n_fail / self.samples_per_scale
+                span.set("n_failures", n_fail)
             if stop:
                 break
         recorder.mark_initial()
@@ -156,6 +171,23 @@ class ScaledSigmaSampler:
             eval_seconds=broker.stats.eval_seconds,
             extra=extra,
         )
+
+    def run(
+        self,
+        objective: Objective,
+        bounds=None,
+        threshold: float | None = None,
+        runtime: RuntimePolicy | None = None,
+    ) -> RunResult:
+        """Deprecated positional entry point; use :meth:`solve`."""
+        warnings.warn(
+            "ScaledSigmaSampler.run() is deprecated; use "
+            "solve(objective=..., spec=RunSpec(...)) or the Campaign facade",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        spec = RunSpec(bounds=bounds, threshold=threshold)
+        return self.solve(objective=objective, spec=spec, policy=runtime)
 
     def _fit_model(self, fractions: np.ndarray) -> SSSModelFit | None:
         """Least-squares fit of the three-parameter SSS model.

@@ -1,0 +1,84 @@
+"""Zero-dependency observability for the BO stack.
+
+Four pieces, one import surface:
+
+* :mod:`repro.telemetry.trace` — nested spans with monotonic durations,
+  written as JSONL joinable with the :class:`~repro.runtime.ledger.RunLedger`;
+* :mod:`repro.telemetry.metrics` — counters/gauges/histograms with a
+  deterministic :meth:`~repro.telemetry.metrics.MetricsRegistry.snapshot`;
+* :mod:`repro.telemetry.profile` — ``REPRO_PROFILE=1`` per-call timing of
+  the numeric hot paths, identity (zero-cost) when off;
+* :mod:`repro.telemetry.report` — the ``python -m repro.telemetry.report``
+  CLI rendering a per-phase time/eval breakdown.
+
+Instrumented call sites take a single ``telemetry=`` argument resolved by
+:func:`resolve_telemetry`; ``None`` means off via shared no-op singletons.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.config import (
+    NULL_TELEMETRY,
+    Telemetry,
+    TelemetryConfig,
+    TelemetryLike,
+    resolve_telemetry,
+)
+from repro.telemetry.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+)
+from repro.telemetry.profile import (
+    PROFILE_ENV_VAR,
+    profile_enabled,
+    profile_snapshot,
+    profiled,
+    reset_profile,
+)
+from repro.telemetry.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    TRACE_VERSION,
+    NullSpan,
+    NullTracer,
+    SpanHandle,
+    Trace,
+    Tracer,
+    TraceSchemaError,
+    TraceSpan,
+    read_trace,
+)
+
+__all__ = [
+    "NULL_METRICS",
+    "NULL_SPAN",
+    "NULL_TELEMETRY",
+    "NULL_TRACER",
+    "PROFILE_ENV_VAR",
+    "TRACE_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NullSpan",
+    "NullTracer",
+    "SpanHandle",
+    "Telemetry",
+    "TelemetryConfig",
+    "TelemetryLike",
+    "Trace",
+    "TraceSchemaError",
+    "TraceSpan",
+    "Tracer",
+    "profile_enabled",
+    "profile_snapshot",
+    "profiled",
+    "read_trace",
+    "reset_profile",
+    "resolve_telemetry",
+]

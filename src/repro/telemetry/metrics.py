@@ -1,0 +1,201 @@
+"""Counters, gauges and histograms with a deterministic snapshot API.
+
+The registry is the numeric side of the observability layer: where the
+tracer answers "where did the time go", the metrics answer "how many" —
+simulations completed, cache hits, retries, acquisition fevals, clipped
+projection coordinates.  The perf harness consumes :meth:`snapshot`,
+whose output is deterministic (sorted keys, plain builtins) so two runs
+of the same seeded campaign produce byte-identical snapshots.
+
+Instruments are created on first use (``registry.counter("x").inc()``)
+and cheap enough to sit on warm paths; the telemetry-off path uses the
+:data:`NULL_METRICS` singleton whose instruments are shared no-ops.
+All mutation happens on the dispatching thread (the broker aggregates
+worker results before counting), so no locking is needed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+
+class Counter:
+    """A monotonically increasing integer count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += int(n)
+
+
+class Gauge:
+    """A last-write-wins scalar."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming summary of observed values: count/total/min/max.
+
+    Deliberately bucket-free — the campaigns this instruments produce
+    hundreds of observations, and the report renders mean/extremes, not
+    quantiles.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class NullCounter:
+    __slots__ = ()
+
+    value = 0
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class NullGauge:
+    __slots__ = ()
+
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class NullHistogram:
+    __slots__ = ()
+
+    count = 0
+    total = 0.0
+    min = math.inf
+    max = -math.inf
+    mean = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = NullCounter()
+_NULL_GAUGE = NullGauge()
+_NULL_HISTOGRAM = NullHistogram()
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    enabled = True
+
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter()
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge()
+        return inst
+
+    def histogram(self, name: str) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = Histogram()
+        return inst
+
+    def snapshot(self) -> dict[str, Any]:
+        """Deterministic plain-builtin view of every instrument.
+
+        Keys are sorted; histogram extremes of empty histograms render as
+        ``None`` so the snapshot stays JSON-serializable.
+        """
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: {
+                    "count": hist.count,
+                    "total": hist.total,
+                    "mean": hist.mean,
+                    "min": hist.min if hist.count else None,
+                    "max": hist.max if hist.count else None,
+                }
+                for name, hist in sorted(self._histograms.items())
+            },
+        }
+
+
+class NullMetrics:
+    """No-op registry handed out when telemetry is off."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def counter(self, name: str) -> NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str) -> NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+NULL_METRICS = NullMetrics()
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NullCounter",
+    "NullGauge",
+    "NullHistogram",
+    "NullMetrics",
+]

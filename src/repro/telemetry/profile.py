@@ -1,0 +1,106 @@
+"""Opt-in per-call profiling of the numeric hot paths.
+
+``REPRO_PROFILE=1`` (read once at import, exactly like the PR 3
+``REPRO_SANITIZE`` sanitizer gate) turns :func:`profiled` into a timing
+wrapper that accumulates per-call counts and monotonic durations into a
+process-global table, keyed by the site label.  With the variable unset
+the decorator resolves to the bare function at import time — no wrapper
+frame, no lookup, zero call overhead — which is what lets it sit on the
+GP evaluator and acquisition batch paths without moving the perf smoke.
+
+Intended sites (wired in this repo):
+
+* ``gp.evaluator.lml`` — fused LML value+gradient evaluations,
+* ``gp.model.predict`` — posterior evaluations (the acquisition bill),
+* ``gp.hyperopt.fit`` — whole hyperparameter searches,
+* ``acquisition.optimize`` — single-acquisition optimizer runs,
+* ``bo.propose_batch`` — lockstep multi-weight batch proposals.
+
+Read results with :func:`profile_snapshot` (deterministic: sorted keys)
+and reset between phases with :func:`reset_profile`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from functools import wraps
+from typing import Any, Callable, TypeVar
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+#: Environment variable gating the profiling hooks; read once at import.
+PROFILE_ENV_VAR = "REPRO_PROFILE"
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+def profile_enabled() -> bool:
+    """Whether ``REPRO_PROFILE`` requests per-call timing."""
+    return os.environ.get(PROFILE_ENV_VAR, "").strip().lower() in _TRUTHY
+
+
+_ENABLED = profile_enabled()
+
+#: label -> [n_calls, total_seconds]; mutated only under the GIL from the
+#: calling thread, read via profile_snapshot().
+_TABLE: dict[str, list[float]] = {}
+
+
+def profiled(label: str) -> Callable[[F], F]:
+    """Accumulate per-call wall time under ``label`` when profiling is on.
+
+    With ``REPRO_PROFILE`` unset this returns the function unchanged at
+    decoration time (identity — verified by the subprocess probe in
+    ``tests/test_telemetry.py``).
+    """
+    if not _ENABLED:
+
+        def passthrough(fn: F) -> F:
+            return fn
+
+        return passthrough
+
+    def decorate(fn: F) -> F:
+        cell = _TABLE.setdefault(label, [0, 0.0])
+
+        @wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            start = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                cell[0] += 1
+                cell[1] += time.perf_counter() - start
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+def profile_snapshot() -> dict[str, dict[str, float]]:
+    """Deterministic view of the accumulated profile table.
+
+    Labels whose site was never called are included (count 0) so the
+    presence of a hook is observable.
+    """
+    return {
+        label: {"calls": int(cell[0]), "seconds": float(cell[1])}
+        for label, cell in sorted(_TABLE.items())
+    }
+
+
+def reset_profile() -> None:
+    """Zero every accumulated cell (labels stay registered)."""
+    for cell in _TABLE.values():
+        cell[0] = 0
+        cell[1] = 0.0
+
+
+__all__ = [
+    "PROFILE_ENV_VAR",
+    "profile_enabled",
+    "profile_snapshot",
+    "profiled",
+    "reset_profile",
+]

@@ -1,0 +1,147 @@
+"""Per-phase breakdown of a campaign trace: ``python -m repro.telemetry.report``.
+
+Renders where a campaign spent its wall clock and its evaluations from a
+JSONL trace file written by the :class:`~repro.telemetry.trace.Tracer`::
+
+    python -m repro.telemetry.report runs/uvlo.trace.jsonl
+    python -m repro.telemetry.report runs/uvlo.trace.jsonl --ledger runs/uvlo.jsonl
+
+With ``--ledger`` the report also reconciles the trace against the
+:class:`~repro.runtime.ledger.RunLedger` event stream (evaluation spans
+vs ``completed`` events — the two are joinable on the shared ``id``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.telemetry.trace import Trace, TraceSpan, read_trace
+from repro.utils.tables import render_table
+from repro.utils.timing import format_duration
+
+
+@dataclass(frozen=True)
+class PhaseRow:
+    """Aggregate of every span sharing one name."""
+
+    name: str
+    count: int
+    total_seconds: float
+    mean_seconds: float
+    share: float  # fraction of summed campaign-span time
+    evaluations: int  # summed "fevals"/eval-count attributes, if any
+
+
+#: Attribute keys that count evaluations, searched in priority order.
+_EVAL_ATTRS = ("fevals", "n_evaluations", "n_completed")
+
+
+def _span_evaluations(span: TraceSpan) -> int:
+    for key in _EVAL_ATTRS:
+        value = span.attrs.get(key)
+        if isinstance(value, (int, float)):
+            return int(value)
+    return 0
+
+
+def phase_breakdown(trace: Trace) -> list[PhaseRow]:
+    """Aggregate spans by name, largest total time first.
+
+    ``share`` is relative to the summed duration of the ``campaign``
+    root spans (falling back to the summed root spans of any name when a
+    trace was produced without a campaign wrapper).
+    """
+    roots = trace.named("campaign") or trace.roots()
+    wall = sum(s.dt for s in roots) or 1.0
+    totals: dict[str, list[float]] = {}
+    for span in trace:
+        cell = totals.setdefault(span.name, [0, 0.0, 0])
+        cell[0] += 1
+        cell[1] += span.dt
+        cell[2] += _span_evaluations(span)
+    rows = [
+        PhaseRow(
+            name=name,
+            count=int(cell[0]),
+            total_seconds=cell[1],
+            mean_seconds=cell[1] / cell[0],
+            share=cell[1] / wall,
+            evaluations=int(cell[2]),
+        )
+        for name, cell in totals.items()
+    ]
+    rows.sort(key=lambda r: (-r.total_seconds, r.name))
+    return rows
+
+
+def render_report(trace: Trace, title: str | None = None) -> str:
+    """The per-phase table the CLI prints."""
+    rows = phase_breakdown(trace)
+    body = [
+        [
+            row.name,
+            row.count,
+            format_duration(row.total_seconds),
+            f"{1000.0 * row.mean_seconds:.2f}ms",
+            f"{100.0 * row.share:.1f}%",
+            row.evaluations or "-",
+        ]
+        for row in rows
+    ]
+    return render_table(
+        ["phase", "spans", "total", "mean", "% of campaign", "evals"],
+        body,
+        title=title,
+    )
+
+
+def reconcile_with_ledger(trace: Trace, ledger_path: str) -> list[str]:
+    """Compare evaluation spans against the ledger's completed events."""
+    from repro.runtime.ledger import read_ledger
+
+    replay = read_ledger(ledger_path)
+    n_spans = len(trace.named("evaluate"))
+    lines = [
+        f"evaluate spans:          {n_spans}",
+        f"ledger completed events: {replay.n_completed}",
+        f"ledger cache hits:       {replay.n_cache_hits}",
+    ]
+    if n_spans == replay.n_completed:
+        lines.append("trace and ledger agree on the simulation count")
+    else:
+        lines.append(
+            "MISMATCH: trace and ledger disagree on the simulation count"
+        )
+    return lines
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.report",
+        description="Per-phase time/eval breakdown of a campaign trace.",
+    )
+    parser.add_argument("trace", help="JSONL trace file written by a Tracer")
+    parser.add_argument(
+        "--ledger",
+        default=None,
+        help="optional RunLedger JSONL to reconcile evaluation counts against",
+    )
+    args = parser.parse_args(argv)
+    trace = read_trace(args.trace)
+    print(render_report(trace, title=f"Campaign trace: {args.trace}"))
+    campaigns = trace.named("campaign")
+    if campaigns:
+        wall = sum(s.dt for s in campaigns)
+        print(f"\ncampaign wall clock: {format_duration(wall)}")
+    if args.ledger is not None:
+        print()
+        for line in reconcile_with_ledger(trace, args.ledger):
+            print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

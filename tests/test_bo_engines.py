@@ -4,14 +4,23 @@ import numpy as np
 import pytest
 
 from repro.acquisition import default_acquisition_optimizer
-from repro.bo import BatchBO, RemboBO, SequentialBO, uniform_initial_design
-from repro.bo.engine import SurrogateManager
+from repro.bo import BatchBO, RemboBO, RunSpec, SequentialBO, uniform_initial_design
+from repro.bo.engine import EngineProtocol, SurrogateManager
+from repro.runtime import FunctionObjective
 from repro.synthetic import RareFailureFunction
 from repro.utils.validation import unit_cube_bounds
 
 
 def bowl(x):
     return float(np.sum((np.asarray(x) - 0.3) ** 2))
+
+
+def wrap(fn, dim):
+    return FunctionObjective(fn, dim=dim, bounds=unit_cube_bounds(dim))
+
+
+def bowl_objective(dim):
+    return wrap(bowl, dim)
 
 
 def tiny_optimizer(dim):
@@ -60,11 +69,16 @@ class TestSurrogateManager:
 
 
 class TestSequentialBO:
+    def test_satisfies_engine_protocol(self):
+        assert isinstance(SequentialBO(seed=0), EngineProtocol)
+
     def test_improves_on_initial_design(self):
         engine = SequentialBO(
             acquisition="ei", seed=0, acquisition_optimizer_factory=tiny_optimizer
         )
-        result = engine.run(bowl, unit_cube_bounds(2), n_init=5, budget=20)
+        result = engine.solve(
+            objective=bowl_objective(2), spec=RunSpec(n_init=5, budget=20)
+        )
         assert result.n_evaluations == 20
         assert result.best_y < result.y[:5].min()
 
@@ -73,7 +87,9 @@ class TestSequentialBO:
         engine = SequentialBO(
             acquisition=acq, seed=1, acquisition_optimizer_factory=tiny_optimizer
         )
-        result = engine.run(bowl, unit_cube_bounds(2), n_init=4, budget=10)
+        result = engine.solve(
+            objective=bowl_objective(2), spec=RunSpec(n_init=4, budget=10)
+        )
         assert result.n_evaluations == 10
         assert result.method == acq.upper()
 
@@ -81,8 +97,9 @@ class TestSequentialBO:
         X0 = uniform_initial_design(unit_cube_bounds(2), 6, seed=2)
         y0 = np.array([bowl(x) for x in X0])
         engine = SequentialBO(seed=2, acquisition_optimizer_factory=tiny_optimizer)
-        result = engine.run(
-            bowl, unit_cube_bounds(2), budget=10, initial_data=(X0, y0)
+        result = engine.solve(
+            objective=bowl_objective(2),
+            spec=RunSpec(budget=10, initial_data=(X0, y0)),
         )
         np.testing.assert_array_equal(result.X[:6], X0)
         assert result.n_init == 6
@@ -94,15 +111,29 @@ class TestSequentialBO:
             stop_on_failure=True,
             acquisition_optimizer_factory=tiny_optimizer,
         )
-        result = engine.run(
-            bowl, unit_cube_bounds(2), n_init=4, budget=40, threshold=0.05
+        result = engine.solve(
+            objective=bowl_objective(2),
+            spec=RunSpec(n_init=4, budget=40, threshold=0.05),
         )
         assert result.n_evaluations < 40
 
     def test_budget_below_init_rejected(self):
         engine = SequentialBO(seed=0)
         with pytest.raises(ValueError):
-            engine.run(bowl, unit_cube_bounds(2), n_init=10, budget=5)
+            engine.solve(
+                objective=bowl_objective(2), spec=RunSpec(n_init=10, budget=5)
+            )
+
+    def test_rejects_bare_callable(self):
+        engine = SequentialBO(seed=0)
+        with pytest.raises(TypeError, match="FunctionObjective"):
+            engine.solve(objective=bowl, spec=RunSpec(n_init=4, budget=8))
+
+    def test_deprecated_run_wrapper(self):
+        engine = SequentialBO(seed=0, acquisition_optimizer_factory=tiny_optimizer)
+        with pytest.warns(DeprecationWarning, match="solve"):
+            result = engine.run(bowl_objective(2), n_init=4, budget=8)
+        assert result.n_evaluations == 8
 
     def test_unknown_acquisition(self):
         with pytest.raises(ValueError):
@@ -110,16 +141,23 @@ class TestSequentialBO:
 
     def test_counts_acquisition_evaluations(self):
         engine = SequentialBO(seed=4, acquisition_optimizer_factory=tiny_optimizer)
-        result = engine.run(bowl, unit_cube_bounds(2), n_init=4, budget=8)
+        result = engine.solve(
+            objective=bowl_objective(2), spec=RunSpec(n_init=4, budget=8)
+        )
         assert result.acquisition_evaluations > 0
 
 
 class TestBatchBO:
+    def test_satisfies_engine_protocol(self):
+        assert isinstance(BatchBO(batch_size=2, seed=0), EngineProtocol)
+
     def test_batch_structure(self):
         engine = BatchBO(
             batch_size=4, seed=0, acquisition_optimizer_factory=tiny_optimizer
         )
-        result = engine.run(bowl, unit_cube_bounds(2), n_init=5, n_batches=3)
+        result = engine.solve(
+            objective=bowl_objective(2), spec=RunSpec(n_init=5, n_batches=3)
+        )
         assert result.n_evaluations == 5 + 12
         assert result.method == "pBO"
 
@@ -133,11 +171,16 @@ class TestBatchBO:
         engine = BatchBO(
             batch_size=3, seed=1, acquisition_optimizer_factory=tiny_optimizer
         )
-        result = engine.run(bowl, unit_cube_bounds(3), n_init=6, n_batches=4)
+        result = engine.solve(
+            objective=bowl_objective(3), spec=RunSpec(n_init=6, n_batches=4)
+        )
         assert result.best_y < result.y[:6].min()
 
 
 class TestRemboBO:
+    def test_satisfies_engine_protocol(self):
+        assert isinstance(RemboBO(batch_size=2, seed=0), EngineProtocol)
+
     def test_fixed_embedding_dim(self):
         engine = RemboBO(
             batch_size=3,
@@ -145,7 +188,9 @@ class TestRemboBO:
             seed=0,
             acquisition_optimizer_factory=tiny_optimizer,
         )
-        result = engine.run(bowl, unit_cube_bounds(6), n_init=5, n_batches=3)
+        result = engine.solve(
+            objective=bowl_objective(6), spec=RunSpec(n_init=5, n_batches=3)
+        )
         assert result.n_evaluations == 5 + 9
         assert result.model_dim == 2
         assert result.Z is not None
@@ -159,7 +204,9 @@ class TestRemboBO:
             seed=1,
             acquisition_optimizer_factory=tiny_optimizer,
         )
-        result = engine.run(bowl, unit_cube_bounds(8), n_init=5, n_batches=2)
+        result = engine.solve(
+            objective=bowl_objective(8), spec=RunSpec(n_init=5, n_batches=2)
+        )
         assert np.all(np.abs(result.X) <= 1.0 + 1e-12)
 
     def test_automatic_dimension_selection(self):
@@ -172,7 +219,9 @@ class TestRemboBO:
             seed=2,
             acquisition_optimizer_factory=tiny_optimizer,
         )
-        result = engine.run(fun, unit_cube_bounds(10), n_init=10, n_batches=2)
+        result = engine.solve(
+            objective=wrap(fun, 10), spec=RunSpec(n_init=10, n_batches=2)
+        )
         assert "dimension_selection" in result.extra
         assert result.model_dim in (1, 2, 4)
 
@@ -183,9 +232,9 @@ class TestRemboBO:
             center_fraction=0.55, seed=9,
         )
         engine = RemboBO(batch_size=6, embedding_dim=4, seed=12)
-        result = engine.run(
-            fun, unit_cube_bounds(16), n_init=10, n_batches=8,
-            threshold=fun.threshold,
+        result = engine.solve(
+            objective=wrap(fun, 16),
+            spec=RunSpec(n_init=10, n_batches=8, threshold=fun.threshold),
         )
         summary = result.summarize(fun.threshold)
         assert summary.detected
@@ -193,7 +242,9 @@ class TestRemboBO:
     def test_embedding_dim_exceeding_D_rejected(self):
         engine = RemboBO(batch_size=2, embedding_dim=10, seed=0)
         with pytest.raises(ValueError):
-            engine.run(bowl, unit_cube_bounds(4), n_init=3, n_batches=1)
+            engine.solve(
+                objective=bowl_objective(4), spec=RunSpec(n_init=3, n_batches=1)
+            )
 
     def test_stop_on_failure(self):
         fun = RareFailureFunction(12, 2, threshold=-0.5, radius=0.5, seed=5)
@@ -204,9 +255,9 @@ class TestRemboBO:
             stop_on_failure=True,
             acquisition_optimizer_factory=tiny_optimizer,
         )
-        result = engine.run(
-            fun, unit_cube_bounds(12), n_init=8, n_batches=10,
-            threshold=fun.threshold,
+        result = engine.solve(
+            objective=wrap(fun, 12),
+            spec=RunSpec(n_init=8, n_batches=10, threshold=fun.threshold),
         )
         # either stopped early after a failing batch or exhausted budget
         assert result.n_evaluations <= 8 + 40

@@ -95,6 +95,6 @@ class TestFailureSummary:
     def test_detected_flag(self):
         s = FailureSummary(
             method="m", n_simulations=10, worst_value=0.0,
-            n_failures=0, first_failure_index=None, runtime_seconds=1.0,
+            n_failures=0, first_failure_index=None, total_seconds=1.0,
         )
         assert not s.detected

@@ -2,10 +2,9 @@
 
 ``apply_contract`` is exercised directly so validation runs regardless of
 the ``REPRO_SANITIZE`` gate; the gate itself is covered by spawning fresh
-interpreters with the environment variable set/unset.  The grammar is
-implemented twice — ``repro.utils.contracts`` (runtime) and
-``tools.numlint.shapes`` (static) — so a shared corpus pins them to each
-other.
+interpreters with the environment variable set/unset.  The grammar parser
+is shared: ``tools.numlint.shapes`` imports it from
+``repro.utils.contracts``, and the corpus below documents what it accepts.
 """
 
 from __future__ import annotations
@@ -71,6 +70,11 @@ def _normalize(contract):
 
 
 class TestGrammarCrossCheck:
+    def test_static_side_reuses_runtime_parser(self):
+        # the grammar lives in one place now; the shapelint side imports it
+        assert static.parse_contract is parse_contract
+        assert static.ContractParseError is ContractParseError
+
     @pytest.mark.parametrize("spec", VALID_SPECS)
     def test_both_parsers_agree(self, spec):
         assert _normalize(parse_contract(spec)) == _normalize(

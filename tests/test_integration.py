@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.acquisition import default_acquisition_optimizer
-from repro.bo import RemboBO, Specification, uniform_initial_design
+from repro.bo import RemboBO, RunSpec, Specification, uniform_initial_design
 from repro.circuits.behavioral import UVLOTestbench
 from repro.embedding import select_embedding_dimension
 from repro.experiments import (
@@ -14,6 +14,7 @@ from repro.experiments import (
     projection_ablation,
     uvlo_config,
 )
+from repro.runtime import FunctionObjective
 from repro.sampling import MonteCarloSampler
 from repro.synthetic import RareFailureFunction
 from repro.utils.validation import unit_cube_bounds
@@ -38,9 +39,12 @@ class TestSyntheticPipeline:
         )
         d = max(selection.selected_dim, 3)
         engine = RemboBO(batch_size=5, embedding_dim=d, seed=6)
-        result = engine.run(
-            fun, bounds, n_batches=6, threshold=fun.threshold,
-            initial_data=(X0, y0),
+        result = engine.solve(
+            objective=FunctionObjective(fun, dim=14, bounds=bounds),
+            spec=RunSpec(
+                bounds=bounds, n_batches=6, threshold=fun.threshold,
+                initial_data=(X0, y0),
+            ),
         )
         summary = result.summarize(fun.threshold)
         assert summary.detected
@@ -52,11 +56,14 @@ class TestSyntheticPipeline:
         fun = RareFailureFunction(16, 3, threshold=-1.2, depth=3.0,
                                   radius=0.28, center_fraction=0.55, seed=9)
         bounds = unit_cube_bounds(16)
+        objective = FunctionObjective(fun, dim=16, bounds=bounds)
         engine = RemboBO(batch_size=6, embedding_dim=4, seed=12)
-        rembo = engine.run(fun, bounds, n_init=10, n_batches=8,
-                           threshold=fun.threshold)
-        mc = MonteCarloSampler(rembo.n_evaluations, seed=12).run(
-            fun, bounds, threshold=fun.threshold
+        rembo = engine.solve(
+            objective=objective,
+            spec=RunSpec(n_init=10, n_batches=8, threshold=fun.threshold),
+        )
+        mc = MonteCarloSampler(rembo.n_evaluations, seed=12).solve(
+            objective=objective, spec=RunSpec(threshold=fun.threshold)
         )
         assert rembo.best_y <= mc.best_y
         assert rembo.summarize(fun.threshold).detected

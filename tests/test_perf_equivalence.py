@@ -13,6 +13,7 @@ import pytest
 
 from repro.acquisition.functions import WeightedAcquisition, pbo_weights
 from repro.bo.batch import BatchBO
+from repro.bo.engine import RunSpec
 from repro.bo.propose import propose_batch
 from repro.gp import GaussianProcess
 from repro.gp.evaluator import MarginalLikelihoodEvaluator
@@ -22,6 +23,7 @@ from repro.kernels import (
     RationalQuadratic,
     SquaredExponential,
 )
+from repro.runtime import FunctionObjective
 
 
 def _dataset(n, d, seed=0):
@@ -186,17 +188,18 @@ class TestParallelEquivalence:
         assert seq.n_evaluations == par.n_evaluations
 
     def test_batch_bo_parallel_identical_y(self):
-        def objective(x):
+        def shifted_bowl(x):
             return float(np.sum(np.asarray(x) ** 2) - 1.0)
 
         box = np.column_stack([-np.ones(2), np.ones(2)])
+        objective = FunctionObjective(shifted_bowl, dim=2, bounds=box)
         runs = []
         for n_jobs in (1, 2):
             engine = BatchBO(
                 batch_size=2, n_restarts=1, seed=42, n_jobs=n_jobs
             )
             runs.append(
-                engine.run(objective, box, n_init=4, n_batches=2)
+                engine.solve(objective=objective, spec=RunSpec(n_init=4, n_batches=2))
             )
         np.testing.assert_array_equal(runs[0].X, runs[1].X)
         np.testing.assert_array_equal(runs[0].y, runs[1].y)

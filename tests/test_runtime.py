@@ -27,10 +27,9 @@ from repro.runtime import (
     RunLedger,
     RuntimePolicy,
     TransientSimulationError,
-    as_objective,
-    coerce_objective,
     point_digest,
     read_ledger,
+    require_objective,
 )
 from repro.utils.validation import unit_cube_bounds
 
@@ -93,36 +92,21 @@ class TestObjectiveProtocol:
         out = obj.evaluate(np.array([[1.0, 1.0], [2.0, 0.0]]))
         assert out.tolist() == [2.0, 4.0]
 
-    def test_as_objective_passthrough_and_inference(self):
+    def test_require_objective_passthrough(self):
         obj = FunctionObjective(bowl, dim=2)
-        assert as_objective(obj) is obj
-        inferred = as_objective(bowl, bounds=unit_cube_bounds(4))
-        assert inferred.dim == 4
-        with pytest.raises(TypeError):
-            as_objective(bowl)  # no dim, no bounds
-        with pytest.raises(TypeError):
-            as_objective(42, dim=2)
+        assert require_objective(obj, "test") is obj
+
+    def test_require_objective_rejects_bare_callable(self):
+        with pytest.raises(TypeError, match="FunctionObjective"):
+            require_objective(bowl, "EvaluationBroker")
+
+    def test_require_objective_names_caller(self):
+        with pytest.raises(TypeError, match="Campaign"):
+            require_objective(42, "Campaign")
 
     def test_cache_key_default_and_override(self):
         assert "d=2" in FunctionObjective(bowl, dim=2).cache_key
         assert FunctionObjective(bowl, dim=2, cache_key="k").cache_key == "k"
-
-    def test_coerce_warns_on_bare_callable(self):
-        with pytest.warns(DeprecationWarning, match="as_objective"):
-            obj = coerce_objective(bowl, bounds=unit_cube_bounds(2))
-        assert isinstance(obj, Objective)
-
-    def test_coerce_passthrough_is_silent(self):
-        import warnings
-
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            coerce_objective(FunctionObjective(bowl, dim=2))
-
-    def test_coerce_needs_bounds_for_bare_callable(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(TypeError, match="bounds"):
-                coerce_objective(bowl)
 
     def test_bad_output_length(self):
         obj = FunctionObjective(
@@ -417,18 +401,14 @@ class TestRecorderIntegration:
         assert result.n_init == 1
         assert result.method == "T"
         assert result.eval_seconds + result.overhead_seconds == pytest.approx(
-            result.runtime_seconds
+            result.total_seconds
         )
 
     def test_recorder_mismatched_lengths(self):
         with pytest.raises(ValueError):
             RunRecorder().extend(np.zeros((2, 2)), np.zeros(3))
 
-    def test_runresult_split_backcompat(self):
-        legacy = RunResult(
-            X=np.zeros((1, 2)), y=np.zeros(1), n_init=1, runtime_seconds=2.0
-        )
-        assert legacy.runtime_seconds == 2.0
+    def test_runresult_total_is_derived(self):
         split = RunResult(
             X=np.zeros((1, 2)),
             y=np.zeros(1),
@@ -436,7 +416,11 @@ class TestRecorderIntegration:
             eval_seconds=1.5,
             overhead_seconds=0.5,
         )
-        assert split.runtime_seconds == pytest.approx(2.0)
+        assert split.total_seconds == pytest.approx(2.0)
+        with pytest.raises(TypeError):
+            RunResult(
+                X=np.zeros((1, 2)), y=np.zeros(1), n_init=1, runtime_seconds=2.0
+            )
 
 
 class TestFaultInjection:

@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.bo.engine import RunSpec
 from repro.bo.rembo import RemboBO
 from repro.circuits.behavioral.uvlo import UVLOTestbench
 from repro.experiments.config import ExperimentConfig
@@ -42,13 +43,15 @@ def small_engine(seed=11):
 
 
 def run_campaign(testbench, runtime=None, seed=11):
-    return small_engine(seed=seed).run(
-        testbench.objective("delta_vthl"),
-        testbench.bounds(),
-        n_init=6,
-        n_batches=2,
-        threshold=testbench.threshold("delta_vthl"),
-        runtime=runtime,
+    return small_engine(seed=seed).solve(
+        objective=testbench.objective("delta_vthl"),
+        spec=RunSpec(
+            bounds=testbench.bounds(),
+            n_init=6,
+            n_batches=2,
+            threshold=testbench.threshold("delta_vthl"),
+        ),
+        policy=runtime,
     )
 
 

@@ -5,6 +5,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.bo import RunSpec
+from repro.runtime import FunctionObjective
 from repro.sampling import (
     LogisticClassifier,
     MonteCarloSampler,
@@ -20,27 +22,42 @@ def bowl(x):
     return float(np.sum(np.asarray(x) ** 2))
 
 
+def wrap(fn, dim):
+    return FunctionObjective(fn, dim=dim, bounds=unit_cube_bounds(dim))
+
+
+def bowl_objective(dim):
+    return wrap(bowl, dim)
+
+
 class TestMonteCarloSampler:
     def test_budget_and_bounds(self, rng):
         sampler = MonteCarloSampler(200, seed=0)
-        result = sampler.run(bowl, unit_cube_bounds(3))
+        result = sampler.solve(objective=bowl_objective(3))
         assert result.n_evaluations == 200
         assert np.all(np.abs(result.X) <= 1.0)
 
     def test_method_label(self):
-        result = MonteCarloSampler(10, seed=0).run(bowl, unit_cube_bounds(2))
+        result = MonteCarloSampler(10, seed=0).solve(objective=bowl_objective(2))
         assert result.method == "MC"
 
     def test_stop_on_failure(self):
         sampler = MonteCarloSampler(10_000, stop_on_failure=True, seed=1)
-        result = sampler.run(bowl, unit_cube_bounds(2), threshold=0.5)
+        result = sampler.solve(
+            objective=bowl_objective(2), spec=RunSpec(threshold=0.5)
+        )
         assert result.n_evaluations < 10_000
         assert result.y[-1] < 0.5
 
     def test_reproducible(self):
-        a = MonteCarloSampler(50, seed=3).run(bowl, unit_cube_bounds(2))
-        b = MonteCarloSampler(50, seed=3).run(bowl, unit_cube_bounds(2))
+        a = MonteCarloSampler(50, seed=3).solve(objective=bowl_objective(2))
+        b = MonteCarloSampler(50, seed=3).solve(objective=bowl_objective(2))
         np.testing.assert_array_equal(a.X, b.X)
+
+    def test_deprecated_run_wrapper(self):
+        with pytest.warns(DeprecationWarning, match="solve"):
+            result = MonteCarloSampler(10, seed=0).run(bowl_objective(2))
+        assert result.n_evaluations == 10
 
     def test_rejects_zero_budget(self):
         with pytest.raises(ValueError):
@@ -90,20 +107,20 @@ class TestScaledSigmaSampler:
     def test_total_budget(self):
         sampler = ScaledSigmaSampler(50, scales=(1.0, 2.0, 3.0), seed=0)
         assert sampler.n_samples == 150
-        result = sampler.run(bowl, unit_cube_bounds(4))
+        result = sampler.solve(objective=bowl_objective(4))
         assert result.n_evaluations == 150
 
     def test_samples_clipped_into_box(self):
         sampler = ScaledSigmaSampler(100, scales=(4.0,), seed=1)
-        result = sampler.run(bowl, unit_cube_bounds(3))
+        result = sampler.solve(objective=bowl_objective(3))
         assert np.all(np.abs(result.X) <= 1.0)
 
     def test_larger_scales_reach_further(self):
-        near = ScaledSigmaSampler(300, scales=(0.5,), seed=2).run(
-            bowl, unit_cube_bounds(5)
+        near = ScaledSigmaSampler(300, scales=(0.5,), seed=2).solve(
+            objective=bowl_objective(5)
         )
-        far = ScaledSigmaSampler(300, scales=(4.0,), seed=2).run(
-            bowl, unit_cube_bounds(5)
+        far = ScaledSigmaSampler(300, scales=(4.0,), seed=2).solve(
+            objective=bowl_objective(5)
         )
         assert np.abs(far.X).mean() > np.abs(near.X).mean()
 
@@ -116,7 +133,9 @@ class TestScaledSigmaSampler:
         sampler = ScaledSigmaSampler(
             400, scales=(1.0, 1.5, 2.0, 3.0, 4.0), seed=3
         )
-        result = sampler.run(radius, unit_cube_bounds(4), threshold=-1.2)
+        result = sampler.solve(
+            objective=wrap(radius, 4), spec=RunSpec(threshold=-1.2)
+        )
         assert "sss_fit" in result.extra
         fit = result.extra["sss_fit"]
         # failure fraction grows with scale
@@ -125,10 +144,17 @@ class TestScaledSigmaSampler:
         assert 0.0 <= fit.failure_rate(1.0) <= 1.0
 
     def test_no_fit_when_failures_too_rare(self):
-        result = ScaledSigmaSampler(20, scales=(1.0, 2.0), seed=4).run(
-            bowl, unit_cube_bounds(3), threshold=-1.0
+        result = ScaledSigmaSampler(20, scales=(1.0, 2.0), seed=4).solve(
+            objective=bowl_objective(3), spec=RunSpec(threshold=-1.0)
         )
         assert "sss_fit" not in result.extra
+
+    def test_deprecated_run_wrapper(self):
+        with pytest.warns(DeprecationWarning, match="solve"):
+            result = ScaledSigmaSampler(10, scales=(1.0,), seed=0).run(
+                bowl_objective(2)
+            )
+        assert result.n_evaluations == 10
 
     def test_validation(self):
         with pytest.raises(ValueError):
@@ -163,7 +189,9 @@ class TestStatisticalBlockade:
         blockade = StatisticalBlockade(
             pilot_samples=150, candidate_samples=1000, seed=0
         )
-        result = blockade.run(bowl, unit_cube_bounds(3), threshold=-1.0)
+        result = blockade.solve(
+            objective=bowl_objective(3), spec=RunSpec(threshold=-1.0)
+        )
         diag = result.extra["blockade"]
         assert diag.n_unblocked < 1000
         assert result.n_evaluations == 150 + diag.n_unblocked
@@ -175,11 +203,18 @@ class TestStatisticalBlockade:
         blockade = StatisticalBlockade(
             pilot_samples=200, candidate_samples=1500, seed=1
         )
-        result = blockade.run(linear, unit_cube_bounds(4))
+        result = blockade.solve(objective=wrap(linear, 4))
         pilot_mean = result.y[:200].mean()
         if result.n_evaluations > 200:
             unblocked_mean = result.y[200:].mean()
             assert unblocked_mean < pilot_mean
+
+    def test_deprecated_run_wrapper(self):
+        with pytest.warns(DeprecationWarning, match="solve"):
+            result = StatisticalBlockade(
+                pilot_samples=20, candidate_samples=50, seed=0
+            ).run(bowl_objective(2))
+        assert result.n_evaluations >= 20
 
     def test_validation(self):
         with pytest.raises(ValueError):

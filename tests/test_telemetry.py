@@ -1,0 +1,401 @@
+"""Tests for the telemetry layer: tracer, metrics, profiling gate, report.
+
+The trace schema round-trip and nesting invariants are pinned here; the
+campaign-level reconciliation against the :class:`RunLedger` lives in
+``tests/test_campaign.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.telemetry import (
+    NULL_METRICS,
+    NULL_SPAN,
+    NULL_TELEMETRY,
+    NULL_TRACER,
+    MetricsRegistry,
+    Telemetry,
+    TelemetryConfig,
+    TraceSchemaError,
+    Tracer,
+    read_trace,
+    resolve_telemetry,
+)
+from repro.telemetry import profile as profile_mod
+from repro.telemetry.report import (
+    main as report_main,
+    phase_breakdown,
+    render_report,
+)
+
+
+class FakeClock:
+    """A deterministic monotonic clock: each read advances by ``step``."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+# -- tracer ------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_nesting_and_ids(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("campaign") as root:
+            with tracer.span("iteration", index=0) as it:
+                with tracer.span("gp_fit"):
+                    pass
+            assert it.attrs == {"index": 0}
+        tracer.close()
+        by_name = {line["name"]: line for line in tracer.finished}
+        assert by_name["gp_fit"]["parent"] == by_name["iteration"]["id"]
+        assert by_name["iteration"]["parent"] == by_name["campaign"]["id"]
+        assert by_name["campaign"]["parent"] is None
+        # ids assigned at open: parents are numbered before children
+        assert by_name["campaign"]["id"] < by_name["iteration"]["id"]
+        assert root.span_id == by_name["campaign"]["id"]
+
+    def test_record_span_parents_under_open_span(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("iteration"):
+            tracer.record_span("evaluate", 0.5, {"id": "abc"})
+        tracer.close()
+        evaluate = next(s for s in tracer.finished if s["name"] == "evaluate")
+        iteration = next(s for s in tracer.finished if s["name"] == "iteration")
+        assert evaluate["parent"] == iteration["id"]
+        assert evaluate["dt"] == 0.5
+        assert evaluate["attrs"] == {"id": "abc"}
+
+    def test_span_attrs_set_and_add(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("acq_opt") as span:
+            span.set("fevals", 10)
+            span.add("fevals", 5)
+            span.add("clipped", 0.25)
+        tracer.close()
+        assert tracer.finished[0]["attrs"] == {"fevals": 15, "clipped": 0.25}
+
+    def test_close_with_open_span_raises(self):
+        tracer = Tracer(clock=FakeClock())
+        span = tracer.span("campaign")
+        span.__enter__()
+        with pytest.raises(TraceSchemaError, match="still open"):
+            tracer.close()
+
+    def test_out_of_order_close_raises(self):
+        tracer = Tracer(clock=FakeClock())
+        outer = tracer.span("outer")
+        inner = tracer.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        with pytest.raises(TraceSchemaError, match="out of order"):
+            outer.__exit__(None, None, None)
+
+    def test_durations_are_monotonic_deltas(self):
+        clock = FakeClock(step=2.0)
+        tracer = Tracer(clock=clock)
+        with tracer.span("campaign"):
+            pass
+        tracer.close()
+        line = tracer.finished[0]
+        assert line["dt"] == pytest.approx(2.0)
+        assert line["t0"] >= 0.0
+
+
+class TestTraceRoundTrip:
+    def _write_trace(self, path: Path) -> Tracer:
+        tracer = Tracer(path, clock=FakeClock())
+        with tracer.span("campaign", engine="RemboBO"):
+            with tracer.span("iteration", index=0):
+                tracer.record_span("evaluate", 1.0, {"id": "x1", "y": -0.2})
+        tracer.close()
+        return tracer
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "run.trace.jsonl"
+        tracer = self._write_trace(path)
+        trace = read_trace(path)
+        assert trace.version == 1
+        assert len(trace) == len(tracer.finished) == 3
+        (root,) = trace.roots()
+        assert root.name == "campaign"
+        assert root.attrs == {"engine": "RemboBO"}
+        (evaluate,) = trace.named("evaluate")
+        assert evaluate.attrs["id"] == "x1"
+        (iteration,) = trace.named("iteration")
+        assert evaluate.parent_id == iteration.span_id
+        assert trace.children(iteration.span_id) == [evaluate]
+        assert evaluate.t1 == pytest.approx(evaluate.t0 + evaluate.dt)
+
+    def test_header_line_first(self, tmp_path):
+        path = tmp_path / "run.trace.jsonl"
+        self._write_trace(path)
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first == {"kind": "trace", "version": 1}
+
+    def test_torn_trailing_line_tolerated(self, tmp_path):
+        path = tmp_path / "run.trace.jsonl"
+        self._write_trace(path)
+        with path.open("a") as fh:
+            fh.write('{"kind": "span", "name": "tru')  # killed mid-write
+        assert len(read_trace(path)) == 3
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"kind":"span","name":"a","id":1,"parent":null,"t0":0,"dt":1,'
+            '"attrs":{}}\n'
+        )
+        with pytest.raises(TraceSchemaError, match="header"):
+            read_trace(path)
+
+    def test_duplicate_id_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        span = '{"kind":"span","name":"a","id":1,"parent":null,"t0":0,"dt":1,"attrs":{}}'
+        path.write_text('{"kind":"trace","version":1}\n' + span + "\n" + span + "\n")
+        with pytest.raises(TraceSchemaError, match="duplicate span id"):
+            read_trace(path)
+
+    def test_parent_must_open_before_child(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"kind":"trace","version":1}\n'
+            '{"kind":"span","name":"a","id":1,"parent":2,"t0":0,"dt":1,"attrs":{}}\n'
+            '{"kind":"span","name":"b","id":2,"parent":null,"t0":0,"dt":1,"attrs":{}}\n'
+        )
+        with pytest.raises(TraceSchemaError, match="non-ancestor parent"):
+            read_trace(path)
+
+    def test_unknown_parent_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"kind":"trace","version":1}\n'
+            '{"kind":"span","name":"a","id":7,"parent":3,"t0":0,"dt":1,"attrs":{}}\n'
+        )
+        with pytest.raises(TraceSchemaError, match="unknown parent"):
+            read_trace(path)
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind":"trace","version":99}\n')
+        with pytest.raises(TraceSchemaError, match="version"):
+            read_trace(path)
+
+    def test_negative_duration_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"kind":"trace","version":1}\n'
+            '{"kind":"span","name":"a","id":1,"parent":null,"t0":0,"dt":-1,'
+            '"attrs":{}}\n'
+        )
+        with pytest.raises(TraceSchemaError, match="negative duration"):
+            read_trace(path)
+
+
+# -- metrics -----------------------------------------------------------------
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram(self):
+        registry = MetricsRegistry()
+        registry.counter("evaluations.completed").inc()
+        registry.counter("evaluations.completed").inc(2)
+        registry.gauge("gp.lml").set(-12.5)
+        for value in (1.0, 3.0):
+            registry.histogram("evaluations.seconds").observe(value)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"evaluations.completed": 3}
+        assert snap["gauges"] == {"gp.lml": -12.5}
+        assert snap["histograms"]["evaluations.seconds"] == {
+            "count": 2, "total": 4.0, "mean": 2.0, "min": 1.0, "max": 3.0,
+        }
+
+    def test_snapshot_is_deterministic_and_json_safe(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc()
+        registry.histogram("empty")  # registered but never observed
+        snap = registry.snapshot()
+        assert list(snap["counters"]) == ["a", "b"]
+        assert snap["histograms"]["empty"]["min"] is None
+        json.dumps(snap)  # plain builtins only
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+
+class TestNullObjects:
+    def test_null_tracer_hands_out_shared_span(self):
+        assert NULL_TRACER.span("anything", a=1) is NULL_SPAN
+        with NULL_TRACER.span("x") as span:
+            span.set("k", 1)
+            span.add("k", 1)
+        NULL_TRACER.record_span("evaluate", 1.0)
+        NULL_TRACER.close()
+        assert not NULL_TRACER.enabled
+
+    def test_null_metrics_share_instruments(self):
+        assert NULL_METRICS.counter("a") is NULL_METRICS.counter("b")
+        NULL_METRICS.counter("a").inc()
+        assert NULL_METRICS.counter("a").value == 0
+        assert NULL_METRICS.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_resolve_telemetry(self, tmp_path):
+        assert resolve_telemetry(None) is NULL_TELEMETRY
+        live = Telemetry(tracer=Tracer(), metrics=MetricsRegistry())
+        assert resolve_telemetry(live) is live
+        materialized = resolve_telemetry(
+            TelemetryConfig(trace_path=tmp_path / "t.jsonl")
+        )
+        assert materialized.enabled
+        assert materialized.tracer.path == tmp_path / "t.jsonl"
+        materialized.close()
+        assert not NULL_TELEMETRY.enabled
+
+
+# -- profiling gate ----------------------------------------------------------
+
+
+def _profile_probe(env_value: str | None) -> str:
+    """Report decorator behaviour from a fresh interpreter."""
+    code = (
+        "from repro.telemetry.profile import profiled, profile_snapshot\n"
+        "def f(x):\n"
+        "    return x\n"
+        "g = profiled('probe.site')(f)\n"
+        "g(1); g(2)\n"
+        "snap = profile_snapshot()\n"
+        "if g is f:\n"
+        "    print('identity', len(snap))\n"
+        "else:\n"
+        "    print('wrapped', snap['probe.site']['calls'])\n"
+    )
+    import os
+
+    env = dict(os.environ, PYTHONPATH="src")
+    env.pop("REPRO_PROFILE", None)
+    if env_value is not None:
+        env["REPRO_PROFILE"] = env_value
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(Path(__file__).resolve().parent.parent),
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout.strip()
+
+
+class TestProfileGate:
+    def test_decorator_is_identity_when_off(self):
+        assert _profile_probe(None) == "identity 0"
+        assert _profile_probe("0") == "identity 0"
+
+    def test_decorator_accumulates_when_on(self):
+        assert _profile_probe("1") == "wrapped 2"
+
+    def test_hot_path_sites_unwrapped_when_off(self):
+        """The instrumented GP/acquisition sites must cost nothing when off.
+
+        ``profiled`` resolves at import time, so with ``REPRO_PROFILE``
+        unset the decorated hot-path functions are the bare functions —
+        no wrapper frame on the perf-smoke path (the <2% budget).
+        """
+        code = (
+            "from repro.gp.model import GaussianProcess\n"
+            "from repro.gp.evaluator import MarginalLikelihoodEvaluator\n"
+            "from repro.acquisition.optimize import optimize_acquisition\n"
+            "from repro.bo.propose import propose_batch\n"
+            "wrapped = [\n"
+            "    hasattr(GaussianProcess.predict, '__wrapped__'),\n"
+            "    hasattr(MarginalLikelihoodEvaluator.evaluate, '__wrapped__'),\n"
+            "    hasattr(optimize_acquisition, '__wrapped__'),\n"
+            "    hasattr(propose_batch, '__wrapped__'),\n"
+            "]\n"
+            "print('wrapped' if any(wrapped) else 'bare')\n"
+        )
+        import os
+
+        for env_value, expected in ((None, "bare"), ("1", "wrapped")):
+            env = dict(os.environ, PYTHONPATH="src")
+            env.pop("REPRO_PROFILE", None)
+            env.pop("REPRO_SANITIZE", None)  # sanitizer wraps too; isolate
+            if env_value is not None:
+                env["REPRO_PROFILE"] = env_value
+            proc = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                env=env,
+                cwd=str(Path(__file__).resolve().parent.parent),
+            )
+            assert proc.returncode == 0, proc.stderr
+            assert proc.stdout.strip() == expected
+
+    def test_profile_enabled_reflects_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert not profile_mod.profile_enabled()
+        for value in ("1", "true", "YES", " on "):
+            monkeypatch.setenv("REPRO_PROFILE", value)
+            assert profile_mod.profile_enabled()
+        monkeypatch.setenv("REPRO_PROFILE", "0")
+        assert not profile_mod.profile_enabled()
+
+
+# -- report CLI --------------------------------------------------------------
+
+
+class TestReport:
+    def _trace_file(self, tmp_path) -> Path:
+        path = tmp_path / "run.trace.jsonl"
+        tracer = Tracer(path, clock=FakeClock())
+        with tracer.span("campaign"):
+            with tracer.span("iteration", index=0):
+                with tracer.span("gp_fit"):
+                    pass
+                with tracer.span("acq_opt") as acq:
+                    acq.set("fevals", 120)
+                tracer.record_span("evaluate", 0.5, {"id": "a"})
+                tracer.record_span("evaluate", 0.25, {"id": "b"})
+        tracer.close()
+        return path
+
+    def test_phase_breakdown(self, tmp_path):
+        trace = read_trace(self._trace_file(tmp_path))
+        rows = {row.name: row for row in phase_breakdown(trace)}
+        assert rows["evaluate"].count == 2
+        assert rows["evaluate"].total_seconds == pytest.approx(0.75)
+        assert rows["acq_opt"].evaluations == 120
+        assert rows["campaign"].share == pytest.approx(1.0)
+        # every child phase fits inside the campaign wall clock
+        assert all(row.share <= 1.0 + 1e-9 for row in rows.values())
+
+    def test_render_report_mentions_phases(self, tmp_path):
+        trace = read_trace(self._trace_file(tmp_path))
+        text = render_report(trace)
+        for phase in ("campaign", "iteration", "gp_fit", "acq_opt", "evaluate"):
+            assert phase in text
+
+    def test_cli_main(self, tmp_path, capsys):
+        path = self._trace_file(tmp_path)
+        assert report_main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign wall clock" in out
+        assert "evaluate" in out

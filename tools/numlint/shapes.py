@@ -1,12 +1,13 @@
-"""Contract grammar + symbolic shape inference for the NL5xx shapelint passes.
+"""Symbolic shape inference for the NL5xx shapelint passes.
 
-This module is the *static* twin of ``repro.utils.contracts``: it parses the
-same contract grammar (see DESIGN.md §9) and adds a small abstract
-interpreter over numpy expressions so the passes can check contracts
-without executing anything.  ``tools/numlint`` must stay importable without
-``repro`` on the path, so the grammar parser is deliberately duplicated
-here; ``tests/test_contracts.py`` cross-checks both parsers on a shared
-corpus to prevent drift.
+This module is the *static* twin of ``repro.utils.contracts``: it checks
+the same contract grammar (see DESIGN.md §9) with a small abstract
+interpreter over numpy expressions, without executing anything.  The
+grammar parser itself (``parse_contract`` and the ``Contract`` /
+``ArrayShape`` / ``ScalarDim`` / ``ParamSpec`` dataclasses) is the runtime
+one, imported from ``repro.utils.contracts`` so the two sides cannot
+drift; when ``repro`` is not installed, ``src/`` is resolved relative to
+the repo checkout so ``tools/numlint`` stays runnable standalone.
 
 Symbolic shapes are tuples of dimensions, where each dimension is a
 contract symbol (``"n"``), an exact integer, or ``None`` (statically
@@ -22,209 +23,43 @@ from __future__ import annotations
 
 import ast
 import dataclasses
-import re
 from typing import Callable, Iterator, Mapping, Sequence
+
+try:
+    from repro.utils.contracts import (
+        ArrayShape,
+        Contract,
+        ContractParseError,
+        ParamSpec,
+        ScalarDim,
+        parse_contract,
+    )
+except ModuleNotFoundError:  # standalone checkout: put src/ on the path
+    import sys
+    from pathlib import Path
+
+    _src = Path(__file__).resolve().parents[2] / "src"
+    if str(_src) not in sys.path:
+        sys.path.insert(0, str(_src))
+    from repro.utils.contracts import (
+        ArrayShape,
+        Contract,
+        ContractParseError,
+        ParamSpec,
+        ScalarDim,
+        parse_contract,
+    )
 
 # A symbolic dimension: contract symbol, exact size, or unknown.
 SymDim = "str | int | None"
 # A symbolic shape: known-rank tuple of dimensions, or entirely unknown.
 SymShape = "tuple[str | int | None, ...] | None"
 
-_SYMBOL_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*\Z")
-_INT_RE = re.compile(r"[0-9]+\Z")
-
 #: Dotted names that resolve to the runtime decorator.
 DECORATOR_NAMES = frozenset(
     {"repro.utils.contracts.shape_contract", "repro.utils.shape_contract",
      "shape_contract"}
 )
-
-
-class ContractParseError(ValueError):
-    """A malformed contract specification string."""
-
-
-@dataclasses.dataclass(frozen=True)
-class ArrayShape:
-    """One array alternative: a dtype class plus a dimension tuple."""
-
-    dims: tuple[str | int, ...]
-    dtype: str = "f"
-
-    def render(self) -> str:
-        prefix = "" if self.dtype == "f" else self.dtype
-        inner = ", ".join(str(d) for d in self.dims)
-        if len(self.dims) == 1:
-            inner += ","
-        return f"{prefix}({inner})"
-
-
-@dataclasses.dataclass(frozen=True)
-class ScalarDim:
-    """A scalar integer argument bound into the symbol table."""
-
-    symbol: str
-
-    def render(self) -> str:
-        return self.symbol
-
-
-@dataclasses.dataclass(frozen=True)
-class ParamSpec:
-    name: str
-    alternatives: tuple["ArrayShape | ScalarDim", ...]
-    optional: bool = False
-
-    def render(self) -> str:
-        alts = " | ".join(a.render() for a in self.alternatives)
-        return f"{self.name}{'?' if self.optional else ''}: {alts}"
-
-
-@dataclasses.dataclass(frozen=True)
-class Contract:
-    params: tuple[ParamSpec, ...]
-    returns: tuple[tuple["ArrayShape | ScalarDim", ...], ...] = ()
-    spec: str = ""
-
-    @property
-    def param_names(self) -> tuple[str, ...]:
-        return tuple(p.name for p in self.params)
-
-
-class _Cursor:
-    def __init__(self, text: str) -> None:
-        self.text = text
-        self.pos = 0
-
-    def skip_ws(self) -> None:
-        while self.pos < len(self.text) and self.text[self.pos].isspace():
-            self.pos += 1
-
-    def startswith(self, token: str) -> bool:
-        self.skip_ws()
-        return self.text.startswith(token, self.pos)
-
-    def take(self, token: str) -> bool:
-        if self.startswith(token):
-            self.pos += len(token)
-            return True
-        return False
-
-    def expect(self, token: str) -> None:
-        if not self.take(token):
-            raise ContractParseError(
-                f"expected {token!r} at position {self.pos} in {self.text!r}"
-            )
-
-    def word(self) -> str:
-        self.skip_ws()
-        start = self.pos
-        while self.pos < len(self.text) and (
-            self.text[self.pos].isalnum() or self.text[self.pos] == "_"
-        ):
-            self.pos += 1
-        if self.pos == start:
-            raise ContractParseError(
-                f"expected a name at position {start} in {self.text!r}"
-            )
-        return self.text[start : self.pos]
-
-    @property
-    def done(self) -> bool:
-        self.skip_ws()
-        return self.pos >= len(self.text)
-
-
-def _parse_dim(cur: _Cursor) -> str | int:
-    if cur.take("*"):
-        return "*"
-    word = cur.word()
-    if _INT_RE.match(word):
-        return int(word)
-    if _SYMBOL_RE.match(word):
-        return word
-    raise ContractParseError(f"bad dimension {word!r} in {cur.text!r}")
-
-
-def _parse_shape(cur: _Cursor) -> "ArrayShape | ScalarDim":
-    dtype = "f"
-    for candidate in ("f", "i", "a"):
-        if cur.startswith(candidate) and cur.text.startswith(
-            candidate + "(", cur.pos
-        ):
-            cur.take(candidate)
-            dtype = candidate
-            break
-    if cur.take("("):
-        dims: list[str | int] = []
-        if not cur.startswith(")"):
-            dims.append(_parse_dim(cur))
-            while cur.take(","):
-                if cur.startswith(")"):
-                    break
-                dims.append(_parse_dim(cur))
-        cur.expect(")")
-        return ArrayShape(dims=tuple(dims), dtype=dtype)
-    word = cur.word()
-    if not _SYMBOL_RE.match(word):
-        raise ContractParseError(f"bad scalar symbol {word!r} in {cur.text!r}")
-    return ScalarDim(symbol=word)
-
-
-def _parse_alternatives(cur: _Cursor) -> tuple["ArrayShape | ScalarDim", ...]:
-    alts = [_parse_shape(cur)]
-    while cur.take("|"):
-        alts.append(_parse_shape(cur))
-    return tuple(alts)
-
-
-def parse_contract(spec: str) -> Contract:
-    """Parse a contract spec string; raises :class:`ContractParseError`."""
-    if not isinstance(spec, str) or not spec.strip():
-        raise ContractParseError("contract spec must be a non-empty string")
-    params_text, arrow, returns_text = spec.partition("->")
-    cur = _Cursor(params_text)
-    params: list[ParamSpec] = []
-    seen: set[str] = set()
-    if not cur.done:
-        while True:
-            name = cur.word()
-            optional = cur.take("?")
-            cur.expect(":")
-            alts = _parse_alternatives(cur)
-            if name in seen:
-                raise ContractParseError(f"duplicate parameter {name!r}")
-            seen.add(name)
-            params.append(
-                ParamSpec(name=name, alternatives=alts, optional=optional)
-            )
-            if not cur.take(","):
-                break
-        if not cur.done:
-            raise ContractParseError(
-                f"trailing input at position {cur.pos} in {params_text!r}"
-            )
-    returns: tuple[tuple[ArrayShape | ScalarDim, ...], ...] = ()
-    if arrow:
-        rcur = _Cursor(returns_text)
-        rets: list[tuple[ArrayShape | ScalarDim, ...]] = []
-        while True:
-            rets.append(_parse_alternatives(rcur))
-            if not rcur.take(","):
-                break
-        if not rcur.done:
-            raise ContractParseError(
-                f"trailing input at position {rcur.pos} in {returns_text!r}"
-            )
-        for ret in rets:
-            for alt in ret:
-                if isinstance(alt, ScalarDim):
-                    raise ContractParseError(
-                        "return entries must be array shapes, got scalar "
-                        f"symbol {alt.symbol!r}"
-                    )
-        returns = tuple(rets)
-    return Contract(params=tuple(params), returns=returns, spec=spec)
 
 
 # -- decorator discovery -----------------------------------------------------
