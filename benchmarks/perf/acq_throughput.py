@@ -1,0 +1,262 @@
+"""Benchmark the batched acquisition + dispatch throughput work.
+
+Three timed sections, mirroring the three tiers of the throughput PR:
+
+* ``proposal`` — one 60-D multi-weight pBO batch proposal (n=600 training
+  points, 8 weights): the lockstep path, where every DIRECT/COBYLA
+  generation scores the weight-union with ONE shared GP posterior
+  evaluation, versus the pre-change per-weight searches (forced through
+  :func:`propose_batch`'s independent-search fallback, which re-runs the
+  posterior once per weight per candidate batch).
+* ``dispatch`` — broker evaluation of a large unique-point block on the
+  vectorized UVLO testbench objective: chunked vectorized dispatch (one
+  ``objective.evaluate((k, D))`` call per chunk) versus the historical
+  row-at-a-time dispatch.  Both sides run the full broker bookkeeping
+  (content-addressed caching, stats, policies), so the speedup is what a
+  campaign actually sees.
+* ``backend`` — ``REPRO_BACKEND=numba`` versus the numpy reference on the
+  marginal-likelihood hot path (fused corr/grad sweep, ARD contraction,
+  ``α αᵀ − K⁻¹`` assembly).  Skipped — and recorded as such — when numba
+  is not installed; the default container ships without it.
+
+Unlike ``gp_hotpath.py`` this benchmark needs no baseline checkout: the
+legacy paths still exist behind the current APIs (the per-weight proposal
+fallback and ``dispatch="row"``), so both sides measure the same tree
+in-process.
+
+Writes a JSON report (default ``BENCH_acq_throughput.json`` at the repo
+root) following the ``BENCH_gp_hotpath.json`` meta/speedup schema.
+``--fast`` shrinks every section to smoke-test size for CI.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf/acq_throughput.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+
+import numpy as np
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_REPO_ROOT = os.path.dirname(os.path.dirname(_HERE))
+
+
+def _fitted_gp(n, dim, seed=0):
+    from repro.gp import GaussianProcess
+    from repro.kernels import Matern52
+
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1.0, 1.0, (n, dim))
+    y = np.sin(X.sum(axis=1)) + 0.1 * rng.standard_normal(n)
+    return GaussianProcess(
+        Matern52(dim=dim, lengthscale=2.0 * np.sqrt(dim)), noise_variance=1e-4
+    ).fit(X, y)
+
+
+def _best_of(repeats, fn):
+    best = np.inf
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def bench_proposal(fast):
+    """Lockstep multi-weight proposal vs independent per-weight searches."""
+    import repro.bo.propose as propose_mod
+    from repro.acquisition.functions import pbo_weights
+    from repro.bo.propose import propose_batch
+
+    n_train, dim = (80, 12) if fast else (600, 60)
+    repeats = 1 if fast else 3
+    gp = _fitted_gp(n_train, dim, seed=0)
+    weights = pbo_weights(5 if fast else 8)
+    box = np.column_stack([-np.ones(dim), np.ones(dim)])
+
+    t_current, current = _best_of(
+        repeats, lambda: propose_batch(gp, weights, box)
+    )
+    supports = propose_mod.supports_lockstep
+    propose_mod.supports_lockstep = lambda stack: False
+    try:
+        t_legacy, legacy = _best_of(
+            repeats, lambda: propose_batch(gp, weights, box)
+        )
+    finally:
+        propose_mod.supports_lockstep = supports
+
+    common = {"dim": dim, "n_train": n_train, "n_weights": int(weights.size)}
+    return {
+        "legacy": {
+            **common,
+            "lockstep": False,
+            "seconds": round(t_legacy, 4),
+            "acq_evals": legacy.n_evaluations,
+        },
+        "current": {
+            **common,
+            "lockstep": True,
+            "seconds": round(t_current, 4),
+            "acq_evals": current.n_evaluations,
+        },
+        "speedup": round(t_legacy / t_current, 2),
+        "proposals_match": bool(
+            np.allclose(legacy.X, current.X, atol=1e-8)
+        ),
+    }
+
+
+def bench_dispatch(fast):
+    """Chunked vectorized broker dispatch vs row-at-a-time dispatch."""
+    from repro.circuits.behavioral.uvlo import UVLOTestbench
+    from repro.runtime import BrokerConfig, EvaluationBroker
+
+    n_points = 128 if fast else 4096
+    repeats = 1 if fast else 3
+    objective = UVLOTestbench().objective("delta_vthl")
+    rng = np.random.default_rng(1)
+    X = rng.uniform(-1.0, 1.0, (n_points, objective.dim))
+
+    def run(dispatch):
+        # a fresh broker per run: the content-addressed cache must not
+        # serve the second mode the first mode's simulations
+        broker = EvaluationBroker(objective, BrokerConfig(dispatch=dispatch))
+        return broker.evaluate_batch(X)
+
+    t_row, row = _best_of(repeats, lambda: run("row"))
+    t_chunk, chunk = _best_of(repeats, lambda: run("chunk"))
+
+    common = {"n_points": n_points, "dim": objective.dim}
+    return {
+        "legacy": {
+            **common,
+            "dispatch": "row",
+            "seconds": round(t_row, 4),
+        },
+        "current": {
+            **common,
+            "dispatch": "chunk",
+            "seconds": round(t_chunk, 4),
+        },
+        "speedup": round(t_row / t_chunk, 2),
+        "values_bitwise_identical": bool(np.array_equal(row.y, chunk.y)),
+    }
+
+
+def bench_backend(fast):
+    """REPRO_BACKEND=numba vs the numpy reference on the LML hot path."""
+    from repro.backends import BACKEND_ENV, numba_available
+
+    if not numba_available():
+        return {
+            "available": False,
+            "note": "numba not installed; numpy reference path is the "
+            "only backend in this environment",
+        }
+
+    from repro.gp.evaluator import MarginalLikelihoodEvaluator
+
+    n, dim = (60, 4) if fast else (300, 8)
+    n_evals = 5 if fast else 40
+    gp = _fitted_gp(n, dim, seed=2)
+    thetas = [gp.theta + 0.05 * k for k in range(n_evals)]
+
+    def run():
+        evaluator = MarginalLikelihoodEvaluator(gp)
+        out = 0.0
+        for theta in thetas:
+            lml, _ = evaluator.evaluate(theta)
+            out += lml
+        return out
+
+    saved = os.environ.get(BACKEND_ENV)
+    try:
+        os.environ[BACKEND_ENV] = "numpy"
+        t_numpy, lml_numpy = _best_of(2, run)
+        os.environ[BACKEND_ENV] = "numba"
+        run()  # JIT warm-up compile outside the timed region
+        t_numba, lml_numba = _best_of(2, run)
+    finally:
+        if saved is None:
+            os.environ.pop(BACKEND_ENV, None)
+        else:
+            os.environ[BACKEND_ENV] = saved
+
+    return {
+        "available": True,
+        "legacy": {
+            "backend": "numpy",
+            "n": n,
+            "dim": dim,
+            "n_evals": n_evals,
+            "seconds": round(t_numpy, 4),
+        },
+        "current": {
+            "backend": "numba",
+            "n": n,
+            "dim": dim,
+            "n_evals": n_evals,
+            "seconds": round(t_numba, 4),
+        },
+        "speedup": round(t_numpy / t_numba, 2),
+        "lml_gap": float(abs(lml_numpy - lml_numba)),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="smoke-test sizes (seconds, for CI) instead of report sizes",
+    )
+    parser.add_argument(
+        "--out",
+        default=os.path.join(_REPO_ROOT, "BENCH_acq_throughput.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    report = {
+        "meta": {
+            "date": time.strftime("%Y-%m-%d %H:%M:%S"),
+            "fast": args.fast,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+            "baseline": "in-process legacy paths (per-weight proposal "
+            "fallback, row dispatch, numpy backend)",
+        }
+    }
+    for section, fn in (
+        ("proposal", bench_proposal),
+        ("dispatch", bench_dispatch),
+        ("backend", bench_backend),
+    ):
+        print(f"[{section}] ...", flush=True)
+        report[section] = fn(args.fast)
+        summary = {
+            k: v
+            for k, v in report[section].items()
+            if k not in ("legacy", "current")
+        }
+        print(f"[{section}] {json.dumps(summary)}", flush=True)
+
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return report
+
+
+if __name__ == "__main__":
+    main()

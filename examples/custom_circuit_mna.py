@@ -1,8 +1,9 @@
 """Verify a transistor-level circuit simulated with the built-in MNA engine.
 
 Shows the full "real simulator" code path: build a netlist, measure a
-performance with DC sweeps / transients, wrap it as a failure-detection
-objective, and hunt worst-case variations with the proposed method.
+performance with DC sweeps / transients, expose it as a cache-addressable
+runtime :class:`~repro.circuits.mna.MNAObjective`, and hunt worst-case
+variations with the proposed method.
 
 The circuit is the built-in MNA low-dropout-regulator demo (9 variation
 parameters); the verified spec is its load regulation.  Each simulation is
@@ -13,9 +14,10 @@ Run:  python examples/custom_circuit_mna.py
 
 import numpy as np
 
-from repro.bo import RemboBO, Specification, uniform_initial_design
-from repro.circuits.mna.ldo_demo import LDO_DEMO_DIM, LDODemo
-from repro.utils import format_duration, unit_cube_bounds
+from repro.bo import RemboBO, RunSpec, Specification, uniform_initial_design
+from repro.circuits.mna import ldo_demo_objective
+from repro.circuits.mna.ldo_demo import LDODemo
+from repro.utils import format_duration
 from repro.utils.timing import Timer
 
 
@@ -29,21 +31,19 @@ def main() -> None:
     spec = Specification(
         "load regulation", threshold=0.22, failure_when="above", units="%"
     )
-    objective = spec.wrap_objective(
-        lambda x: LDODemo(x).load_regulation()
-    )
-    bounds = unit_cube_bounds(LDO_DEMO_DIM)
+    objective = ldo_demo_objective("load_regulation", spec=spec)
 
     with Timer() as timer:
-        X0 = uniform_initial_design(bounds, n_init=8, seed=3)
-        y0 = np.array([objective(x) for x in X0])
+        X0 = uniform_initial_design(objective.bounds, n_init=8, seed=3)
+        y0 = objective.evaluate(X0)
         engine = RemboBO(batch_size=4, embedding_dim=4, seed=5)
-        result = engine.run(
-            objective,
-            bounds,
-            n_batches=4,
-            threshold=spec.minimization_threshold,
-            initial_data=(X0, y0),
+        result = engine.solve(
+            objective=objective,
+            spec=RunSpec(
+                n_batches=4,
+                threshold=objective.threshold,
+                initial_data=(X0, y0),
+            ),
         )
     summary = result.summarize(spec.minimization_threshold)
     worst = spec.from_minimization(result.best_y)

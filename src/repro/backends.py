@@ -1,0 +1,225 @@
+"""Opt-in compiled kernel backend (``REPRO_BACKEND=numba``).
+
+The GP hot path — the fused Matérn/SE correlation + derivative sweep, the
+ARD gradient contraction, and the ``α αᵀ − K⁻¹`` assembly of the marginal
+likelihood evaluator — is pure elementwise/reduction work over ``(n, n)``
+buffers.  The numpy implementation is already allocation-free and fused
+where it matters; a JIT backend can still win by collapsing the remaining
+multi-pass sweeps into single parallel loops.
+
+Selection is by environment variable so the default install stays
+zero-dependency:
+
+* ``REPRO_BACKEND`` unset or ``numpy`` — the numpy reference path, always
+  available, used by every test pin.
+* ``REPRO_BACKEND=numba`` — compile the hot-path ops with ``numba.njit``
+  on first use.  Requesting it without numba installed raises
+  :class:`BackendUnavailableError` immediately (no silent fallback: a
+  perf-motivated opt-in that quietly degrades is worse than an error).
+
+Backend results are pinned to the numpy path at 1e-8 by
+``tests/test_backends.py`` (skipped cleanly when numba is absent); the
+compiled ops avoid ``fastmath`` so they stay bit-faithful to IEEE
+ordering wherever the loop order matches numpy's.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # annotations only: keep the module import dependency-free
+    from repro._typing import FloatArray
+
+#: Environment variable naming the active backend.
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: Recognized backend names.
+BACKEND_NAMES = ("numpy", "numba")
+
+
+class BackendUnavailableError(RuntimeError):
+    """A compiled backend was requested but cannot be imported."""
+
+
+def requested_backend() -> str:
+    """The backend named by ``REPRO_BACKEND`` (default ``numpy``).
+
+    Raises ``ValueError`` for unrecognized names so typos fail loudly
+    instead of silently running the reference path.
+    """
+    name = os.environ.get(BACKEND_ENV, "numpy").strip().lower() or "numpy"
+    if name not in BACKEND_NAMES:
+        raise ValueError(
+            f"{BACKEND_ENV}={name!r} is not a known backend; "
+            f"options: {', '.join(BACKEND_NAMES)}"
+        )
+    return name
+
+
+def numba_available() -> bool:
+    """True when ``import numba`` succeeds in this environment."""
+    try:
+        import numba  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class CompiledOps:
+    """JIT-compiled hot-path operations of one backend.
+
+    Every op writes into caller-provided buffers (matching the workspace
+    discipline of :mod:`repro.kernels.stationary`) and is numerically
+    interchangeable with the numpy reference to 1e-8.
+    """
+
+    #: Name of the backend that built these ops.
+    name: str
+    #: ``(sq, g_out) -> None`` — Matérn-5/2 correlation from scaled sq dists.
+    matern52_corr: Callable
+    #: ``(sq, g_out, dg_out) -> None`` — fused correlation + derivative.
+    matern52_corr_grad: Callable
+    #: ``(sq, g_out) -> None`` — squared-exponential correlation.
+    rbf_corr: Callable
+    #: ``(sq, g_out, dg_out) -> None`` — fused SE correlation + derivative.
+    rbf_corr_grad: Callable
+    #: ``(W, X) -> (d,)`` — ``vec[k] = Σ_ij W_ij (x_ik − x_jk)²``.
+    ard_grad_vec: Callable
+    #: ``(alpha, inv_lower, out) -> None`` — ``out = α αᵀ − K⁻¹`` where
+    #: ``inv_lower`` holds ``K⁻¹`` in its lower triangle (dpotri layout).
+    assemble_inner: Callable
+
+
+_OPS_CACHE: dict[str, CompiledOps] = {}
+
+
+def compiled_ops() -> Optional[CompiledOps]:
+    """The active backend's compiled ops, or None on the numpy default.
+
+    Hot-path call sites gate on this once per evaluation; the numpy path
+    pays one environment read and a dict lookup, nothing else.
+    """
+    name = requested_backend()
+    if name == "numpy":
+        return None
+    ops = _OPS_CACHE.get(name)
+    if ops is None:
+        ops = _OPS_CACHE[name] = _build_numba_ops()
+    return ops
+
+
+def _build_numba_ops() -> CompiledOps:
+    """Compile the numba op set (lazily, on first hot-path use).
+
+    The op bodies are plain annotated functions handed to ``numba.njit``
+    as a call (not decorator syntax): numba ships no type stubs, and an
+    untyped decorator would erase the signatures under the strict mypy
+    gate this module opts into.
+    """
+    try:
+        import numba
+    except ImportError as exc:
+        raise BackendUnavailableError(
+            f"{BACKEND_ENV}=numba requested but numba is not importable; "
+            f"install numba or unset {BACKEND_ENV}"
+        ) from exc
+
+    import numpy as np
+
+    prange = numba.prange
+    sqrt5 = float(np.sqrt(5.0))
+
+    def matern52_corr(
+        sq: FloatArray, g_out: FloatArray
+    ) -> None:  # pragma: no cover - requires numba
+        n, m = sq.shape
+        for i in prange(n):
+            for j in range(m):
+                s = sq[i, j]
+                r = np.sqrt(s)
+                e = np.exp(-sqrt5 * r)
+                g_out[i, j] = (1.0 + sqrt5 * r + (5.0 / 3.0) * s) * e
+
+    def matern52_corr_grad(
+        sq: FloatArray, g_out: FloatArray, dg_out: FloatArray
+    ) -> None:  # pragma: no cover - requires numba
+        n, m = sq.shape
+        for i in prange(n):
+            for j in range(m):
+                s = sq[i, j]
+                r = np.sqrt(s)
+                e = np.exp(-sqrt5 * r)
+                p = 1.0 + sqrt5 * r
+                g_out[i, j] = (p + (5.0 / 3.0) * s) * e
+                dg_out[i, j] = -(5.0 / 6.0) * p * e
+
+    def rbf_corr(
+        sq: FloatArray, g_out: FloatArray
+    ) -> None:  # pragma: no cover - requires numba
+        n, m = sq.shape
+        for i in prange(n):
+            for j in range(m):
+                g_out[i, j] = np.exp(-0.5 * sq[i, j])
+
+    def rbf_corr_grad(
+        sq: FloatArray, g_out: FloatArray, dg_out: FloatArray
+    ) -> None:  # pragma: no cover - requires numba
+        n, m = sq.shape
+        for i in prange(n):
+            for j in range(m):
+                e = np.exp(-0.5 * sq[i, j])
+                g_out[i, j] = e
+                dg_out[i, j] = -0.5 * e
+
+    def ard_grad_vec(
+        W: FloatArray, X: FloatArray
+    ) -> FloatArray:  # pragma: no cover - requires numba
+        n, d = X.shape
+        vec = np.zeros(d)
+        for k in prange(d):
+            acc = 0.0
+            for i in range(n):
+                xik = X[i, k]
+                for j in range(n):
+                    diff = xik - X[j, k]
+                    acc += W[i, j] * diff * diff
+            vec[k] = acc
+        return vec
+
+    def assemble_inner(
+        alpha: FloatArray, inv_lower: FloatArray, out: FloatArray
+    ) -> None:  # pragma: no cover - requires numba
+        n = alpha.shape[0]
+        for i in prange(n):
+            ai = alpha[i]
+            for j in range(n):
+                if j <= i:
+                    kinv = inv_lower[i, j]
+                else:
+                    kinv = inv_lower[j, i]
+                out[i, j] = ai * alpha[j] - kinv
+
+    jit = numba.njit(cache=True, parallel=True)
+    return CompiledOps(
+        name="numba",
+        matern52_corr=jit(matern52_corr),
+        matern52_corr_grad=jit(matern52_corr_grad),
+        rbf_corr=jit(rbf_corr),
+        rbf_corr_grad=jit(rbf_corr_grad),
+        ard_grad_vec=jit(ard_grad_vec),
+        assemble_inner=jit(assemble_inner),
+    )
+
+
+__all__ = [
+    "BACKEND_ENV",
+    "BACKEND_NAMES",
+    "BackendUnavailableError",
+    "CompiledOps",
+    "compiled_ops",
+    "numba_available",
+    "requested_backend",
+]

@@ -5,11 +5,16 @@ for each preset weight ``w_1 … w_{n_b}``, yielding ``n_b`` new simulation
 points spanning exploitation (``w≈0``) through exploration (``w≈1``).  This
 is the paper's "pBO" baseline when run in the full ``D``-dimensional space,
 and the inner engine of the proposed method when run in an embedded space.
+
+With the default DIRECT-L + COBYLA stack, :func:`~repro.bo.propose.propose_batch`
+drives all ``n_b`` searches in lockstep: each generation's candidate union
+is scored by ONE shared GP posterior evaluation and reweighted per weight
+(:class:`~repro.acquisition.functions.MultiWeightAcquisition`), in both the
+global and the local refinement phase.
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import Sequence
 
 import numpy as np
@@ -50,9 +55,10 @@ class BatchBO:
     stop_on_failure:
         Terminate at the end of the first batch containing a failure.
     n_jobs:
-        Process-pool width for the independent per-weight acquisition
-        refinements; 1 (default) stays sequential.  Results are identical
-        either way.
+        Process-pool width for per-weight acquisition searches on the
+        *fallback* path (custom optimizer factories without coroutine
+        stages); the default DIRECT-L + COBYLA stack runs fully in
+        lockstep and ignores it.  Results are identical either way.
     """
 
     def __init__(
@@ -183,28 +189,3 @@ class BatchBO:
             eval_seconds=broker.stats.eval_seconds,
         )
 
-    def run(
-        self,
-        objective: Objective,
-        bounds=None,
-        n_init: int = 5,
-        n_batches: int = DEFAULT_N_BATCHES,
-        threshold: float | None = None,
-        initial_data: tuple[np.ndarray, np.ndarray] | None = None,
-        runtime: RuntimePolicy | None = None,
-    ) -> RunResult:
-        """Deprecated positional entry point; use :meth:`solve`."""
-        warnings.warn(
-            "BatchBO.run() is deprecated; use "
-            "solve(objective=..., spec=RunSpec(...)) or the Campaign facade",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        spec = RunSpec(
-            bounds=bounds,
-            n_init=n_init,
-            n_batches=n_batches,
-            threshold=threshold,
-            initial_data=initial_data,
-        )
-        return self.solve(objective=objective, spec=spec, policy=runtime)

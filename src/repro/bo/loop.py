@@ -8,7 +8,6 @@ per iteration, one simulation per iteration.  Its failure on the 19- and
 
 from __future__ import annotations
 
-import warnings
 
 import numpy as np
 
@@ -203,28 +202,3 @@ class SequentialBO:
             eval_seconds=broker.stats.eval_seconds,
         )
 
-    def run(
-        self,
-        objective: Objective,
-        bounds=None,
-        n_init: int = 5,
-        budget: int = DEFAULT_BUDGET,
-        threshold: float | None = None,
-        initial_data: tuple[np.ndarray, np.ndarray] | None = None,
-        runtime: RuntimePolicy | None = None,
-    ) -> RunResult:
-        """Deprecated positional entry point; use :meth:`solve`."""
-        warnings.warn(
-            "SequentialBO.run() is deprecated; use "
-            "solve(objective=..., spec=RunSpec(...)) or the Campaign facade",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        spec = RunSpec(
-            bounds=bounds,
-            n_init=n_init,
-            budget=budget,
-            threshold=threshold,
-            initial_data=initial_data,
-        )
-        return self.solve(objective=objective, spec=spec, policy=runtime)

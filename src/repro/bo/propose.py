@@ -1,13 +1,21 @@
 """Batched multi-weight acquisition proposal — the pBO inner loop.
 
 Run naively, each pBO weight ``w_i`` performs its own DIRECT-L + COBYLA
-search and every DIRECT candidate costs one GP posterior evaluation.  But
-all weights share the same posterior: only the reweighting
-``(1 − w) μ − w σ`` (Eq. 9) differs.  :func:`propose_batch` therefore
-drives all ``n_b`` DIRECT coroutines in lockstep — each round gathers the
-pending candidate batch of every live search, scores the union with ONE
-``gp.predict``, and hands each search its reweighted slice.  The local
-COBYLA refinements are mutually independent and can fan out across a
+search and every candidate costs one GP posterior evaluation.  But all
+weights share the same posterior: only the reweighting ``(1 − w) μ − w σ``
+(Eq. 9) differs.  :func:`propose_batch` therefore drives all ``n_b``
+searches in lockstep — each round gathers the pending candidate batch of
+every live search coroutine (DIRECT divisions globally, COBYLA
+simplices/trust-region steps locally), scores the union with ONE
+``gp.predict`` through
+:meth:`~repro.acquisition.functions.MultiWeightAcquisition.evaluate_segments`,
+and hands each search its reweighted slice.  Best-so-far tracking over a
+slice is a vectorized ``argmin`` whose first-minimum tie rule matches the
+point-at-a-time "first strictly better" update exactly.
+
+When a custom optimizer factory returns stacks whose stages do not expose
+the ``search`` coroutine protocol, the affected phase falls back to
+independent per-weight ``minimize`` calls, which can fan out across a
 process pool (``n_jobs``); each worker recomputes exactly what the
 sequential loop would, so parallel and sequential proposals are identical.
 """
@@ -18,11 +26,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.acquisition.functions import WeightedAcquisition
-from repro.acquisition.optimize import default_acquisition_optimizer
+from repro.acquisition.functions import (
+    MultiWeightAcquisition,
+    WeightedAcquisition,
+)
+from repro.acquisition.optimize import (
+    default_acquisition_optimizer,
+    supports_local_lockstep,
+    supports_lockstep,
+)
 from repro.gp.model import GaussianProcess
-from repro.optim.direct import Direct
-from repro.optim.multistart import GlobalLocalOptimizer
 from repro.telemetry.profile import profiled
 from repro.utils.contracts import shape_contract
 from repro.utils.parallel import parallel_map
@@ -39,8 +52,9 @@ class BatchProposal:
 
 @dataclass
 class _WeightSearch:
-    """Bookkeeping for one weight's global DIRECT search."""
+    """Bookkeeping for one weight's search coroutine (global or local)."""
 
+    index: int
     weight: float
     engine: object
     points: np.ndarray | None = None
@@ -48,6 +62,45 @@ class _WeightSearch:
     n_evaluations: int = 0
     best_f: float = field(default=np.inf)
     best_x: np.ndarray | None = None
+
+
+def _drive_lockstep(
+    acquisition: MultiWeightAcquisition,
+    searches: list[_WeightSearch],
+    to_domain=None,
+) -> None:
+    """Drive live coroutines to completion, one posterior per round.
+
+    Each round stacks every live search's pending candidate batch into a
+    union, maps it to the objective domain (``to_domain``, for coroutines
+    that emit unit-cube points), scores the union segments under their
+    weights with a single shared ``gp.predict``, updates per-search
+    best-so-far state, and sends each coroutine its value slice.
+    """
+    while True:
+        live = [s for s in searches if not s.done]
+        if not live:
+            break
+        union = np.vstack([s.points for s in live])
+        if to_domain is not None:
+            union = to_domain(union)
+        segments = [(s.index, s.points.shape[0]) for s in live]
+        sliced = acquisition.evaluate_segments(union, segments)
+        offset = 0
+        for search, values in zip(live, sliced):
+            m = search.points.shape[0]
+            search.n_evaluations += m
+            j = int(np.argmin(values))
+            value = float(values[j])
+            if value < search.best_f:
+                search.best_f = value
+                search.best_x = union[offset + j].copy()
+            offset += m
+            try:
+                search.points = search.engine.send(values)
+            except StopIteration:
+                search.done = True
+                search.points = None
 
 
 def _refine_task(task) -> tuple[np.ndarray, float, int]:
@@ -77,12 +130,12 @@ def propose_batch(
 ) -> BatchProposal:
     """Propose one point per pBO weight over the box ``bounds``.
 
-    When the optimizer factory produces the standard DIRECT + local stack
-    (:class:`GlobalLocalOptimizer` with a :class:`Direct` global stage), the
-    global searches run in lockstep sharing one posterior evaluation per
-    candidate union, and the local refinements optionally fan out across
-    ``n_jobs`` processes.  Any other optimizer falls back to independent
-    per-weight searches (still parallelizable across weights).
+    When the optimizer factory produces the standard DIRECT + COBYLA stack
+    (:class:`GlobalLocalOptimizer` with coroutine-capable stages), both the
+    global searches and the local refinements run in lockstep sharing one
+    posterior evaluation per candidate union.  Any other optimizer falls
+    back to independent per-weight searches for the non-conforming phase,
+    parallelizable across weights with ``n_jobs``.
     """
     lower, upper = check_bounds(bounds)
     dim = lower.shape[0]
@@ -90,12 +143,7 @@ def propose_batch(
     weights = np.asarray(weights, dtype=float).ravel()
     factory = optimizer_factory or default_acquisition_optimizer
     stacks = [factory(dim) for _ in weights]
-    lockstep = all(
-        isinstance(stack, GlobalLocalOptimizer)
-        and isinstance(stack.global_optimizer, Direct)
-        for stack in stacks
-    )
-    if not lockstep:
+    if not all(supports_lockstep(stack) for stack in stacks):
         tasks = [
             (gp, float(w), box, stack) for w, stack in zip(weights, stacks)
         ]
@@ -105,55 +153,63 @@ def propose_batch(
         return BatchProposal(X=X, n_evaluations=evals)
 
     span = upper - lower
+    acquisition = MultiWeightAcquisition(gp, weights)
+
+    # phase 1: global DIRECT coroutines over the unit cube, in lockstep
     searches = [
-        _WeightSearch(weight=float(w), engine=stack.global_optimizer.search(dim))
-        for w, stack in zip(weights, stacks)
+        _WeightSearch(
+            index=i,
+            weight=float(w),
+            engine=stack.global_optimizer.search(dim),
+        )
+        for i, (w, stack) in enumerate(zip(weights, stacks))
     ]
     for search in searches:
         search.points = next(search.engine)
+    _drive_lockstep(
+        acquisition, searches, to_domain=lambda unit: lower + unit * span
+    )
 
-    while True:
-        live = [s for s in searches if not s.done]
-        if not live:
-            break
-        union_unit = np.vstack([s.points for s in live])
-        union_X = lower + union_unit * span
-        pred = gp.predict(union_X)
-        mean, std = pred.mean, pred.std
-        offset = 0
-        for search in live:
-            m = search.points.shape[0]
-            mu = mean[offset : offset + m]
-            sigma = std[offset : offset + m]
-            values = (1.0 - search.weight) * mu - search.weight * sigma
-            for j in range(m):
-                search.n_evaluations += 1
-                value = float(values[j])
-                if value < search.best_f:
-                    search.best_f = value
-                    search.best_x = union_X[offset + j].copy()
-            offset += m
-            try:
-                search.points = search.engine.send(values)
-            except StopIteration:
-                search.done = True
-                search.points = None
-
-    # local refinement inside each global incumbent's basin, exactly as
-    # GlobalLocalOptimizer would have done per weight
-    tasks = []
+    # phase 2: local refinement inside each global incumbent's basin,
+    # exactly as GlobalLocalOptimizer would have done per weight
+    local_boxes = []
     for search, stack in zip(searches, stacks):
         if stack.local_radius is not None:
             radius = stack.local_radius * span
             local_lower = np.maximum(lower, search.best_x - radius)
             local_upper = np.minimum(upper, search.best_x + radius)
-            local_bounds = np.column_stack([local_lower, local_upper])
         else:
-            local_bounds = box
-        tasks.append(
-            (gp, search.weight, local_bounds, search.best_x, stack.local_optimizer)
-        )
-    refinements = parallel_map(_refine_task, tasks, n_jobs=n_jobs)
+            local_lower, local_upper = lower, upper
+        local_boxes.append((local_lower, local_upper))
+
+    if all(supports_local_lockstep(stack) for stack in stacks):
+        refiners = [
+            _WeightSearch(
+                index=search.index,
+                weight=search.weight,
+                engine=stack.local_optimizer.search(lo, hi, x0=search.best_x),
+            )
+            for search, stack, (lo, hi) in zip(searches, stacks, local_boxes)
+        ]
+        for refiner in refiners:
+            refiner.points = next(refiner.engine)
+        _drive_lockstep(acquisition, refiners)
+        refinements = [
+            (refiner.best_x, refiner.best_f, refiner.n_evaluations)
+            for refiner in refiners
+        ]
+    else:
+        tasks = [
+            (
+                gp,
+                search.weight,
+                np.column_stack([lo, hi]),
+                search.best_x,
+                stack.local_optimizer,
+            )
+            for search, stack, (lo, hi) in zip(searches, stacks, local_boxes)
+        ]
+        refinements = parallel_map(_refine_task, tasks, n_jobs=n_jobs)
 
     proposed = []
     total_evals = 0

@@ -19,7 +19,6 @@ from (paper Sections 3-4).
 
 from __future__ import annotations
 
-import warnings
 from typing import Sequence
 
 import numpy as np
@@ -269,32 +268,6 @@ class RemboBO:
             extra=extra,
         )
 
-    @shape_contract("bounds?: a(D, 2) | a(2, D)")
-    def run(
-        self,
-        objective: Objective,
-        bounds=None,
-        n_init: int = 5,
-        n_batches: int = DEFAULT_N_BATCHES,
-        threshold: float | None = None,
-        initial_data: tuple[np.ndarray, np.ndarray] | None = None,
-        runtime: RuntimePolicy | None = None,
-    ) -> RunResult:
-        """Deprecated positional entry point; use :meth:`solve`."""
-        warnings.warn(
-            "RemboBO.run() is deprecated; use "
-            "solve(objective=..., spec=RunSpec(...)) or the Campaign facade",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        spec = RunSpec(
-            bounds=bounds,
-            n_init=n_init,
-            n_batches=n_batches,
-            threshold=threshold,
-            initial_data=initial_data,
-        )
-        return self.solve(objective=objective, spec=spec, policy=runtime)
 
 
 def _default_candidates(D: int) -> list[int]:

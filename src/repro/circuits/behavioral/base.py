@@ -74,9 +74,35 @@ class CircuitTestbench(abc.ABC):
             raise ValueError("variation coordinates must lie in [-1, 1]")
         return np.clip(x, -1.0, 1.0)
 
+    @shape_contract("X: a(n, D) -> (n, D)")
+    def _check_batch(self, X) -> np.ndarray:
+        X = as_float_array(X, "X")
+        if X.ndim != 2 or X.shape[1] != self.dim:
+            raise ValueError(
+                f"expected a (n, {self.dim}) variation block, got shape "
+                f"{X.shape}"
+            )
+        if np.any(np.abs(X) > 1.0 + 1e-9):
+            raise ValueError("variation coordinates must lie in [-1, 1]")
+        return np.clip(X, -1.0, 1.0)
+
     @abc.abstractmethod
     def performance(self, name: str, x) -> float:
         """Evaluate the named performance (natural units) at variation ``x``."""
+
+    @shape_contract("X: a(n, D) -> (n,)")
+    def performance_batch(self, name: str, X) -> np.ndarray:
+        """Evaluate the named performance over a ``(n, D)`` block.
+
+        The base implementation loops :meth:`performance` row by row;
+        closed-form behavioral testbenches override it with a genuinely
+        vectorized map (same equations over columns) so chunked broker
+        dispatch pays one array pipeline per batch instead of per point.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        return np.array(
+            [float(self.performance(name, x)) for x in X], dtype=float
+        )
 
     def objective(self, name: str) -> "TestbenchObjective":
         """Minimization-orientation objective for the named spec (Eq. 2)."""
@@ -128,17 +154,16 @@ class TestbenchObjective(Objective):
         """The minimization threshold ``T`` for this spec (Eq. 1)."""
         return self._spec.minimization_threshold
 
+    @property
+    def prefers_batch(self) -> bool:
+        """Closed-form testbenches welcome chunked vectorized dispatch."""
+        return True
+
     def evaluate(self, X) -> np.ndarray:
         X = np.atleast_2d(np.asarray(X, dtype=float))
-        return np.array(
-            [
-                float(self._spec.to_minimization(
-                    self.testbench.performance(self.name, x)
-                ))
-                for x in X
-            ],
-            dtype=float,
-        )
+        perf = self.testbench.performance_batch(self.name, X)
+        out = self._spec.to_minimization(np.asarray(perf, dtype=float))
+        return np.asarray(out, dtype=float).reshape(X.shape[0])
 
 
 def soft_step(margin, width: float):

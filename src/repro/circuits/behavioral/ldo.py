@@ -148,8 +148,11 @@ _US_SHAPE = (0.13, 0.40, 0.30, 0.06)  # V
 _LR_SHAPE = (13.0, 0.40, 30.0, 0.06)  # %
 
 
-def _degradation(margin: float, shape: tuple[float, float, float, float]) -> float:
-    """Strictly-local degradation halo plus collapse jump (UVLO recipe)."""
+def _degradation(margin, shape: tuple[float, float, float, float]):
+    """Strictly-local degradation halo plus collapse jump (UVLO recipe).
+
+    Elementwise — accepts a scalar margin or a ``(n,)`` block of margins.
+    """
     ramp_amp, ramp_width, jump_amp, jump_width = shape
     return ramp_amp * local_halo(margin, ramp_width) + jump_amp * soft_step(
         margin, jump_width
@@ -195,73 +198,116 @@ class LDOTestbench(CircuitTestbench):
             ),
         }
 
-    # -- variation views -----------------------------------------------------
+    # -- variation views (columns of a checked (n, 60) block) -----------------
 
     @staticmethod
-    def _dl(x: np.ndarray) -> np.ndarray:
-        return _L_SPREAD * x[0::3]
+    def _dl(X: np.ndarray) -> np.ndarray:
+        return _L_SPREAD * X[:, 0::3]
 
     @staticmethod
-    def _dvth(x: np.ndarray) -> np.ndarray:
-        return _VTH_SPREAD * x[1::3]
+    def _dvth(X: np.ndarray) -> np.ndarray:
+        return _VTH_SPREAD * X[:, 1::3]
 
     @staticmethod
-    def _dtox(x: np.ndarray) -> np.ndarray:
-        return _TOX_SPREAD * x[2::3]
+    def _dtox(X: np.ndarray) -> np.ndarray:
+        return _TOX_SPREAD * X[:, 2::3]
+
+    def _as_batch(self, x) -> np.ndarray:
+        return self._check_batch(np.atleast_2d(np.asarray(x, dtype=float)))
 
     # -- margins (saturation / headroom of the relevant internal node) ---------
 
+    # einsum, not matmul, for the margin contractions: BLAS gemv is not
+    # bitwise batch-size-invariant, and row-vs-chunk broker dispatch must
+    # produce identical floats for the same variation row
+
+    def iq_margin_batch(self, X) -> np.ndarray:
+        return _IQ_MARGIN_NOM - np.einsum(
+            "nd,d->n", corner_stress(self._as_batch(X)), _IQ_DIRECTION
+        )
+
+    def undershoot_margin_batch(self, X) -> np.ndarray:
+        return _US_MARGIN_NOM - np.einsum(
+            "nd,d->n", corner_stress(self._as_batch(X)), _US_DIRECTION
+        )
+
+    def load_regulation_margin_batch(self, X) -> np.ndarray:
+        return _LR_MARGIN_NOM - np.einsum(
+            "nd,d->n", corner_stress(self._as_batch(X)), _LR_DIRECTION
+        )
+
     def iq_margin(self, x) -> float:
-        return _IQ_MARGIN_NOM - float(_IQ_DIRECTION @ corner_stress(self._check(x)))
+        return float(self.iq_margin_batch(self._check(x)[None, :])[0])
 
     def undershoot_margin(self, x) -> float:
-        return _US_MARGIN_NOM - float(_US_DIRECTION @ corner_stress(self._check(x)))
+        return float(self.undershoot_margin_batch(self._check(x)[None, :])[0])
 
     def load_regulation_margin(self, x) -> float:
-        return _LR_MARGIN_NOM - float(_LR_DIRECTION @ corner_stress(self._check(x)))
+        return float(self.load_regulation_margin_batch(self._check(x)[None, :])[0])
 
     # -- performances -----------------------------------------------------------
 
-    def quiescent_current(self, x) -> float:
-        """Quiescent current in mA (nominal ≈ 5, fails above 12)."""
-        x = self._check(x)
-        dl, dvth, dtox = self._dl(x), self._dvth(x), self._dtox(x)
+    def quiescent_current_batch(self, X) -> np.ndarray:
+        """Quiescent current in mA for a ``(n, 60)`` block."""
+        X = self._as_batch(X)
+        dl, dvth, dtox = self._dl(X), self._dvth(X), self._dtox(X)
         # weak-inversion bias generator: first-order smooth sensitivities
         v_drive = -(
-            0.45 * dvth[12] + 0.40 * dvth[13] + 0.30 * dvth[14] + 0.25 * dvth[15]
+            0.45 * dvth[:, 12] + 0.40 * dvth[:, 13]
+            + 0.30 * dvth[:, 14] + 0.25 * dvth[:, 15]
         )
-        geometry = 1.0 - 0.5 * dl[12] + 0.4 * dl[13] - 0.3 * dl[14]
+        geometry = 1.0 - 0.5 * dl[:, 12] + 0.4 * dl[:, 13] - 0.3 * dl[:, 14]
         mirror = 3.0 * geometry * np.exp(v_drive / 0.11)
-        fixed = 2.0 * (1.0 + 0.6 * float(np.mean(dtox[:8])))
+        fixed = 2.0 * (1.0 + 0.6 * np.mean(dtox[:, :8], axis=1))
         smooth = fixed + mirror  # ≈ 5 mA nominal, ≤ ~9.5 mA at corners
         # cascode headroom erosion multiplies the mirror leg
-        return float(smooth + _degradation(self.iq_margin(x), _IQ_SHAPE))
+        return smooth + _degradation(self.iq_margin_batch(X), _IQ_SHAPE)
+
+    def undershoot_batch(self, X) -> np.ndarray:
+        """Load-step undershoot in volts for a ``(n, 60)`` block."""
+        X = self._as_batch(X)
+        dl, dvth, dtox = self._dl(X), self._dvth(X), self._dtox(X)
+        slew_loss = (
+            0.25 * (dvth[:, 5] + dvth[:, 6]) / _VTH_SPREAD * 0.012
+            + 0.30 * (dl[:, 5] + dl[:, 8]) / _L_SPREAD * 0.010
+            + 0.25 * (dtox[:, 5] + dtox[:, 8]) / _TOX_SPREAD * 0.008
+        )
+        smooth = 0.15 + slew_loss  # ≈ 0.15 ± 0.05 V
+        return smooth + _degradation(self.undershoot_margin_batch(X), _US_SHAPE)
+
+    def load_regulation_batch(self, X) -> np.ndarray:
+        """Load regulation in percent for a ``(n, 60)`` block."""
+        X = self._as_batch(X)
+        dl, dvth = self._dl(X), self._dvth(X)
+        log_gain_loss = (
+            0.10 * (dvth[:, 0] + dvth[:, 1]) / _VTH_SPREAD * 0.5
+            + 0.12 * dvth[:, 8] / _VTH_SPREAD * 0.5
+            + 0.10 * (dl[:, 0] + dl[:, 8]) / _L_SPREAD * 0.5
+        )
+        smooth = 18.0 * np.exp(np.clip(log_gain_loss, -1.0, 1.0) * 0.35)
+        return smooth + _degradation(
+            self.load_regulation_margin_batch(X), _LR_SHAPE
+        )
+
+    def quiescent_current(self, x) -> float:
+        """Quiescent current in mA (nominal ≈ 5, fails above 12)."""
+        return float(self.quiescent_current_batch(self._check(x)[None, :])[0])
 
     def undershoot(self, x) -> float:
         """Load-step undershoot in volts (nominal ≈ 0.15, fails above 0.40)."""
-        x = self._check(x)
-        dl, dvth, dtox = self._dl(x), self._dvth(x), self._dtox(x)
-        slew_loss = (
-            0.25 * (dvth[5] + dvth[6]) / _VTH_SPREAD * 0.012
-            + 0.30 * (dl[5] + dl[8]) / _L_SPREAD * 0.010
-            + 0.25 * (dtox[5] + dtox[8]) / _TOX_SPREAD * 0.008
-        )
-        smooth = 0.15 + slew_loss  # ≈ 0.15 ± 0.05 V
-        return float(smooth + _degradation(self.undershoot_margin(x), _US_SHAPE))
+        return float(self.undershoot_batch(self._check(x)[None, :])[0])
 
     def load_regulation(self, x) -> float:
         """Load regulation in percent (nominal ≈ 18, fails above 50)."""
-        x = self._check(x)
-        dl, dvth = self._dl(x), self._dvth(x)
-        log_gain_loss = (
-            0.10 * (dvth[0] + dvth[1]) / _VTH_SPREAD * 0.5
-            + 0.12 * dvth[8] / _VTH_SPREAD * 0.5
-            + 0.10 * (dl[0] + dl[8]) / _L_SPREAD * 0.5
-        )
-        smooth = 18.0 * np.exp(np.clip(log_gain_loss, -1.0, 1.0) * 0.35)
-        return float(smooth + _degradation(self.load_regulation_margin(x), _LR_SHAPE))
+        return float(self.load_regulation_batch(self._check(x)[None, :])[0])
 
     # -- testbench API ------------------------------------------------------------
+
+    _BATCH_PERFORMANCES = {
+        "quiescent_current": "quiescent_current_batch",
+        "undershoot": "undershoot_batch",
+        "load_regulation": "load_regulation_batch",
+    }
 
     def performance(self, name: str, x) -> float:
         if name == "quiescent_current":
@@ -273,3 +319,11 @@ class LDOTestbench(CircuitTestbench):
         raise KeyError(
             f"unknown performance {name!r}; options: {self.PERFORMANCES}"
         )
+
+    def performance_batch(self, name: str, X) -> np.ndarray:
+        method = self._BATCH_PERFORMANCES.get(name)
+        if method is None:
+            raise KeyError(
+                f"unknown performance {name!r}; options: {self.PERFORMANCES}"
+            )
+        return getattr(self, method)(X)

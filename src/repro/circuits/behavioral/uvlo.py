@@ -126,32 +126,34 @@ class UVLOTestbench(CircuitTestbench):
         }
 
     # -- circuit equations ---------------------------------------------------
+    # every helper maps a (n, 19) variation block to per-row quantities;
+    # the scalar API wraps the single row in a 1-point batch
 
-    def _resistors(self, x: np.ndarray) -> tuple[float, float, float]:
-        r1 = _R1_NOM * (1.0 + _RESISTOR_SPREAD * x[0])
-        r2 = _R2_NOM * (1.0 + _RESISTOR_SPREAD * x[1])
-        r3 = _R3_NOM * (1.0 + _RESISTOR_SPREAD * x[2])
+    def _resistors(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        r1 = _R1_NOM * (1.0 + _RESISTOR_SPREAD * X[:, 0])
+        r2 = _R2_NOM * (1.0 + _RESISTOR_SPREAD * X[:, 1])
+        r3 = _R3_NOM * (1.0 + _RESISTOR_SPREAD * X[:, 2])
         return r1, r2, r3
 
-    def _lengths(self, x: np.ndarray) -> np.ndarray:
-        """Fractional channel-length deviations of M1..M16."""
-        return _LENGTH_SPREAD * x[3:19]
+    def _lengths(self, X: np.ndarray) -> np.ndarray:
+        """Fractional channel-length deviations of M1..M16, ``(n, 16)``."""
+        return _LENGTH_SPREAD * X[:, 3:19]
 
-    def _divider_ratio(self, r1: float, r2: float, r3: float) -> float:
+    def _divider_ratio(self, r1, r2, r3):
         return (r2 + r3) / (r1 + r2 + r3)
 
-    def _reference(self, dl: np.ndarray) -> float:
+    def _reference(self, dl: np.ndarray) -> np.ndarray:
         # M13/M14 stack mismatch shifts the reference
-        return _VREF_NOM + _VREF_MISMATCH * (dl[12] - dl[13]) * _VREF_NOM / 4.0
+        return _VREF_NOM + _VREF_MISMATCH * (dl[:, 12] - dl[:, 13]) * _VREF_NOM / 4.0
 
-    def _comparator_offset(self, dl: np.ndarray) -> float:
+    def _comparator_offset(self, dl: np.ndarray) -> np.ndarray:
         return (
-            _OFFSET_INPUT_PAIR * (dl[0] - dl[1])
-            + _OFFSET_LOAD_MIRROR * (dl[2] - dl[3])
-            + _OFFSET_SECOND_STAGE * (dl[8] - dl[9])
+            _OFFSET_INPUT_PAIR * (dl[:, 0] - dl[:, 1])
+            + _OFFSET_LOAD_MIRROR * (dl[:, 2] - dl[:, 3])
+            + _OFFSET_SECOND_STAGE * (dl[:, 8] - dl[:, 9])
         ) * 0.10
 
-    def _bias_margin(self, x: np.ndarray) -> float:
+    def _bias_margin(self, X: np.ndarray) -> np.ndarray:
         """Saturation margin of the comparator tail bias mirror.
 
         Driven by the *corner-stress* response of every coordinate: only
@@ -159,25 +161,29 @@ class UVLOTestbench(CircuitTestbench):
         coherent deep-corner combination can erode the nominal margin to
         collapse.  Positive in the nominal corner.
         """
-        return _BIAS_MARGIN_NOM - float(_BIAS_WEIGHTS @ corner_stress(x))
+        # einsum, not matmul: BLAS gemv is not bitwise batch-size-invariant,
+        # and row-vs-chunk broker dispatch must produce identical floats
+        return _BIAS_MARGIN_NOM - np.einsum(
+            "nd,d->n", corner_stress(X), _BIAS_WEIGHTS
+        )
 
-    def _hysteresis(self, dl: np.ndarray, collapse: float, r2: float, r3: float) -> float:
-        leg = 1.0 + _HYST_SENS * (dl[14] - dl[15])
+    def _hysteresis(self, dl, collapse, r2, r3):
+        leg = 1.0 + _HYST_SENS * (dl[:, 14] - dl[:, 15])
         tap = (r3 / (r2 + r3)) / (_R3_NOM / (_R2_NOM + _R3_NOM))
         return _VHYST_NOM * leg * tap * (1.0 - collapse)
 
-    def delta_vthl(self, x) -> float:
-        """The signed turn-off-threshold offset ``ΔV_THL`` in volts."""
-        x = self._check(x)
-        r1, r2, r3 = self._resistors(x)
-        dl = self._lengths(x)
+    def delta_vthl_batch(self, X) -> np.ndarray:
+        """Signed ``ΔV_THL`` (volts) for a ``(n, 19)`` variation block."""
+        X = self._check_batch(np.atleast_2d(np.asarray(X, dtype=float)))
+        r1, r2, r3 = self._resistors(X)
+        dl = self._lengths(X)
 
         ratio = self._divider_ratio(r1, r2, r3)
         ratio_nom = self._divider_ratio(_R1_NOM, _R2_NOM, _R3_NOM)
         v_ref = self._reference(dl)
         v_os = self._comparator_offset(dl)
 
-        margin = self._bias_margin(x)
+        margin = self._bias_margin(X)
         collapse = soft_step(margin, _BIAS_STEP_WIDTH)
         # the comparator gain sags before the mirror drops out of saturation
         # referenced to the nominal margin so ΔV_THL is exactly 0 at x = 0
@@ -192,8 +198,13 @@ class UVLOTestbench(CircuitTestbench):
         # a weakening comparator amplifies the threshold error in whichever
         # direction the residual offset already points: the sag and the
         # collapse jump grow the *magnitude* of the offset
-        direction = 1.0 if smooth >= 0.0 else -1.0
-        return float(smooth + direction * (gain_sag + _COLLAPSE_JUMP * collapse))
+        direction = np.where(smooth >= 0.0, 1.0, -1.0)
+        return smooth + direction * (gain_sag + _COLLAPSE_JUMP * collapse)
+
+    def delta_vthl(self, x) -> float:
+        """The signed turn-off-threshold offset ``ΔV_THL`` in volts."""
+        x = self._check(x)
+        return float(self.delta_vthl_batch(x[None, :])[0])
 
     # -- testbench API ---------------------------------------------------------
 
@@ -201,3 +212,8 @@ class UVLOTestbench(CircuitTestbench):
         if name != "delta_vthl":
             raise KeyError(f"unknown performance {name!r}; only 'delta_vthl'")
         return abs(self.delta_vthl(x))
+
+    def performance_batch(self, name: str, X) -> np.ndarray:
+        if name != "delta_vthl":
+            raise KeyError(f"unknown performance {name!r}; only 'delta_vthl'")
+        return np.abs(self.delta_vthl_batch(X))

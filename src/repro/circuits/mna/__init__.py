@@ -24,6 +24,11 @@ from repro.circuits.mna.measure import (
 )
 from repro.circuits.mna.mosfet import MOSFET, MOSParams, level1_current
 from repro.circuits.mna.netlist import GROUND, Circuit, MNASystem, StampContext
+from repro.circuits.mna.objective import (
+    MNAObjective,
+    ldo_demo_objective,
+    uvlo_demo_objective,
+)
 from repro.circuits.mna.sweep import SweepResult, sweep_source
 from repro.circuits.mna.transient import TransientResult, solve_transient
 
@@ -50,6 +55,9 @@ __all__ = [
     "TransientResult",
     "sweep_source",
     "SweepResult",
+    "MNAObjective",
+    "ldo_demo_objective",
+    "uvlo_demo_objective",
     "threshold_crossings",
     "undershoot",
     "overshoot",

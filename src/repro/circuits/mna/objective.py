@@ -1,0 +1,135 @@
+"""Netlist-level MNA measurements as runtime :class:`Objective` s.
+
+The behavioral testbenches vectorize their closed-form equations over a
+whole ``(n, D)`` block, so chunked broker dispatch pays one array pipeline
+per batch.  An MNA measurement cannot vectorize that way — every row is an
+independent netlist build plus Newton continuation — but it still speaks
+the same batch protocol: :meth:`MNAObjective.evaluate` accepts a ``(n, D)``
+block and resolves it row by row.
+
+``prefers_batch`` is deliberately ``False`` here: a Newton solve is the
+failure-prone kind of evaluation the broker's per-point timeout/retry
+machinery exists for, and chunked dispatch would turn one non-convergent
+row into a whole-chunk fallback.  Row dispatch keeps fault isolation
+per simulation (see DESIGN.md §12 for the dispatch-selection rules).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.bo.spec import Specification
+from repro.runtime.objective import Objective
+from repro.utils.validation import as_matrix, unit_cube_bounds
+
+
+class MNAObjective(Objective):
+    """One MNA-measured performance as a cache-addressable objective.
+
+    Parameters
+    ----------
+    measure:
+        Row callable ``measure(x: (dim,)) -> float`` returning the
+        performance in natural units (build netlist, solve, measure).
+    dim:
+        Dimensionality of the normalized variation space (the bounds are
+        the unit hypercube, matching the demo benches).
+    spec:
+        Optional :class:`~repro.bo.spec.Specification`; when given,
+        values are mapped through ``spec.to_minimization`` (paper Eq. 2)
+        so the objective is in minimization orientation.
+    cache_key:
+        Stable identity for the result cache/ledger; defaults to the
+        measure's qualified name plus ``dim``.
+    """
+
+    def __init__(
+        self,
+        measure: Callable,
+        dim: int,
+        spec: Specification | None = None,
+        cache_key: str | None = None,
+    ) -> None:
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        self._measure = measure
+        self._dim = int(dim)
+        self._spec = spec
+        if cache_key is None:
+            name = getattr(measure, "__qualname__", None) or repr(measure)
+            suffix = f":{spec.name}" if spec is not None else ""
+            cache_key = f"mna.{name}{suffix}[d={self._dim}]"
+        self._cache_key = str(cache_key)
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    @property
+    def bounds(self) -> np.ndarray:
+        return unit_cube_bounds(self._dim)
+
+    @property
+    def cache_key(self) -> str:
+        return self._cache_key
+
+    @property
+    def prefers_batch(self) -> bool:
+        """Row dispatch: per-simulation fault isolation beats chunking."""
+        return False
+
+    @property
+    def threshold(self) -> float | None:
+        """Minimization threshold ``T`` when a spec is attached (Eq. 1)."""
+        if self._spec is None:
+            return None
+        return self._spec.minimization_threshold
+
+    def evaluate(self, X) -> np.ndarray:
+        X = as_matrix(np.asarray(X, dtype=float), self._dim)
+        values = np.array([float(self._measure(x)) for x in X], dtype=float)
+        if self._spec is None:
+            return values
+        return np.asarray(
+            self._spec.to_minimization(values), dtype=float
+        ).reshape(X.shape[0])
+
+
+def ldo_demo_objective(
+    measure: str = "load_regulation", spec: Specification | None = None
+) -> MNAObjective:
+    """The MNA LDO demo's named measure as an :class:`MNAObjective`."""
+    from repro.circuits.mna.ldo_demo import LDO_DEMO_DIM, LDODemo
+
+    if not callable(getattr(LDODemo, measure, None)):
+        raise KeyError(f"LDODemo has no measure {measure!r}")
+
+    def run(x: np.ndarray) -> float:
+        return float(getattr(LDODemo(x), measure)())
+
+    return MNAObjective(
+        run,
+        dim=LDO_DEMO_DIM,
+        spec=spec,
+        cache_key=f"LDODemo:{measure}",
+    )
+
+
+def uvlo_demo_objective(spec: Specification | None = None) -> MNAObjective:
+    """``|ΔV_THL|`` of the MNA UVLO demo as an :class:`MNAObjective`."""
+    from repro.circuits.mna.uvlo_demo import (
+        UVLO_DEMO_DIM,
+        uvlo_demo_threshold_offset,
+    )
+
+    return MNAObjective(
+        uvlo_demo_threshold_offset,
+        dim=UVLO_DEMO_DIM,
+        spec=spec,
+        cache_key="UVLODemo:delta_vthl",
+    )
+
+
+__all__ = ["MNAObjective", "ldo_demo_objective", "uvlo_demo_objective"]

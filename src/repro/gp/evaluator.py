@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 from scipy.linalg import cho_solve
 
+from repro.backends import compiled_ops
 from repro.gp.model import (
     GaussianProcess,
     _potrf,
@@ -94,7 +95,6 @@ class MarginalLikelihoodEvaluator:
         inner = self._inner
         if inner is None or inner.shape[0] != n:
             inner = self._inner = np.empty((n, n))
-        np.multiply(alpha[:, None], alpha[None, :], out=inner)
         if _potri is not None:
             # dpotri fills only the lower triangle of K^{-1} (the strict
             # upper stays zero from the factor), so subtract it plus its
@@ -103,10 +103,18 @@ class MarginalLikelihoodEvaluator:
             inv, info = _potri(chol, lower=1, overwrite_c=1)
             if info != 0:  # pragma: no cover - factor is already validated
                 raise np.linalg.LinAlgError(f"dpotri failed with info={info}")
-            inner -= inv
-            inner -= inv.T
-            np.einsum("ii->i", inner)[...] += np.einsum("ii->i", inv)
+            ops = compiled_ops()
+            if ops is not None:
+                # compiled backend: the outer product, the triangular
+                # mirror and the subtraction fuse into one parallel pass
+                ops.assemble_inner(alpha, inv, inner)
+            else:
+                np.multiply(alpha[:, None], alpha[None, :], out=inner)
+                inner -= inv
+                inner -= inv.T
+                np.einsum("ii->i", inner)[...] += np.einsum("ii->i", inv)
         else:  # pragma: no cover - scipy always ships lapack
+            np.multiply(alpha[:, None], alpha[None, :], out=inner)
             inner -= inv_from_cholesky(chol)
         grads = kernel.gradient_inner_products(self.ws, inner)
         if self.train_noise:

@@ -12,16 +12,26 @@ module implements the same scheme from scratch for box-bounded problems:
 Like Powell's original, the cost of each ``rho`` level is ``O(n)``
 evaluations (the simplex must span ``R^n``), which is what makes the
 function-evaluation count grow super-linearly with dimension in Fig. 2.
+
+Like :class:`~repro.optim.direct.Direct`, the search is a coroutine
+(:meth:`Cobyla.search`) that yields candidate batches — a whole simplex
+per geometry step, a single trust-region candidate otherwise — and
+receives their objective values.  :meth:`minimize` drives the coroutine
+against one objective; the pBO proposal path drives many coroutines in
+lockstep so every round's candidate union shares a single GP posterior
+evaluation.
 """
 
 from __future__ import annotations
 
 import warnings
+from typing import Generator
 
 import numpy as np
 from scipy.linalg import lu_factor, lu_solve
 
 from repro.optim.base import CountingObjective, Objective, Optimizer
+from repro.optim.direct import SearchOutcome
 from repro.optim.result import OptimizationResult
 
 
@@ -61,48 +71,86 @@ class Cobyla(Optimizer):
         upper: np.ndarray,
         x0: np.ndarray | None,
     ) -> OptimizationResult:
+        counted = CountingObjective(fun)
+        engine = self.search(lower, upper, x0=x0)
+        points = next(engine)
+        outcome: SearchOutcome
+        while True:
+            values = counted.evaluate(points)
+            try:
+                points = engine.send(np.asarray(values, dtype=float))
+            except StopIteration as stop:
+                outcome = stop.value
+                break
+        return OptimizationResult(
+            x=counted.best_x,
+            fun=counted.best_f,
+            n_evaluations=counted.n_evaluations,
+            n_iterations=outcome.n_iterations,
+            success=outcome.success,
+            message=outcome.message,
+            history=list(counted.history),
+        )
+
+    def search(
+        self,
+        lower: np.ndarray,
+        upper: np.ndarray,
+        x0: np.ndarray | None = None,
+    ) -> Generator[np.ndarray, np.ndarray, SearchOutcome]:
+        """Coroutine over the box yielding candidate batches.
+
+        Each ``yield`` produces an ``(m, dim)`` array of points *in the
+        original coordinates* (unlike :meth:`Direct.search`, which works
+        on the unit cube); the caller sends back the ``(m,)`` objective
+        values.  Geometry steps yield the whole rebuilt simplex at once,
+        trust-region steps a single candidate; a caller tracking
+        best-so-far state over the batches sees exactly the sequence a
+        point-at-a-time evaluation would have produced.  Returns a
+        :class:`~repro.optim.direct.SearchOutcome` via ``StopIteration``.
+        """
+        lower = np.asarray(lower, dtype=float)
+        upper = np.asarray(upper, dtype=float)
         dim = lower.shape[0]
         span = upper - lower
-        counted = CountingObjective(fun)
         rho = self.rho_begin * float(np.min(span))
         rho_end = self.rho_end * float(np.min(span))
 
         if x0 is None:
             x0 = 0.5 * (lower + upper)
+        x0 = np.clip(np.asarray(x0, dtype=float), lower, upper)
+
+        count = 0
 
         def clip(x: np.ndarray) -> np.ndarray:
             return np.clip(x, lower, upper)
 
-        def build_simplex(anchor: np.ndarray, radius: float) -> tuple:
+        def simplex_vertices(anchor: np.ndarray, radius: float) -> np.ndarray:
             """Anchor plus one offset vertex per coordinate direction."""
             vertices = [anchor.copy()]
             for k in range(dim):
                 step = np.zeros(dim)
                 step[k] = radius if anchor[k] + radius <= upper[k] else -radius
                 vertices.append(clip(anchor + step))
-            V = np.array(vertices, dtype=float)
-            # one batched call: objectives with a vectorized ``evaluate``
-            # (the acquisition functions) score the whole simplex in a
-            # single posterior evaluation instead of dim + 1 of them
-            f = np.asarray(counted.evaluate(V), dtype=float)
-            return V, f
+            return np.array(vertices, dtype=float)
 
-        budget_left = lambda n: counted.n_evaluations + n <= self.max_evaluations
+        budget_left = lambda n: count + n <= self.max_evaluations
 
         if not budget_left(dim + 1):
             # budget cannot even hold a simplex; fall back to evaluating x0
-            f0 = counted(x0)
-            return OptimizationResult(
-                x=x0,
-                fun=f0,
-                n_evaluations=counted.n_evaluations,
-                n_iterations=0,
-                success=False,
+            yield x0[None, :]
+            count += 1
+            return SearchOutcome(
                 message="evaluation budget below simplex size",
-                history=list(counted.history),
+                success=False,
+                n_iterations=0,
             )
 
-        V, f = build_simplex(clip(x0), rho)
+        # one batched yield per simplex: lockstep callers score the whole
+        # simplex in a single posterior evaluation instead of dim + 1
+        V = simplex_vertices(x0, rho)
+        f = np.asarray((yield V), dtype=float)
+        count += V.shape[0]
         iteration = 0
         message = "evaluation budget exhausted"
         success = False
@@ -111,7 +159,7 @@ class Cobyla(Optimizer):
             iteration += 1
             order = np.argsort(f)
             V, f = V[order], f[order]
-            best, worst = V[0], V[-1]
+            best = V[0]
 
             # linear interpolation model: S g = df.  S is square (dim + 1
             # vertices), so one LU factorization both solves the system and
@@ -137,15 +185,21 @@ class Cobyla(Optimizer):
                 rho *= 0.5
                 if not budget_left(dim + 1):
                     break
-                V, f = build_simplex(best, rho)
+                V = simplex_vertices(best, rho)
+                f = np.asarray((yield V), dtype=float)
+                count += V.shape[0]
                 continue
 
             candidate = clip(best - rho * g / grad_norm)
             if np.allclose(candidate, best):
-                # step blocked by the bounds; treat as no descent
+                # step blocked by the bounds; treat as no descent (and do
+                # not spend an evaluation on it)
                 f_new = np.inf
             else:
-                f_new = counted(candidate)
+                f_new = float(
+                    np.asarray((yield candidate[None, :]), dtype=float)[0]
+                )
+                count += 1
 
             if f_new < f[0]:
                 # descent: replace the worst vertex, keep the radius
@@ -160,12 +214,6 @@ class Cobyla(Optimizer):
                 message, success = "rho converged", True
                 break
 
-        return OptimizationResult(
-            x=counted.best_x,
-            fun=counted.best_f,
-            n_evaluations=counted.n_evaluations,
-            n_iterations=iteration,
-            success=success,
-            message=message,
-            history=list(counted.history),
+        return SearchOutcome(
+            message=message, success=success, n_iterations=iteration
         )

@@ -36,6 +36,17 @@ from repro.optim.result import OptimizationResult
 #: Epsilon of the potentially-optimal test (standard DIRECT magic constant).
 _EPS = 1e-4
 
+#: Longest-side measures 3^-level, precomputed: the selection loop touches
+#: every live rectangle each iteration and must not re-derive powers.
+_POW3 = 3.0 ** (-np.arange(64, dtype=float))
+
+
+def _pow3(level: int) -> float:
+    global _POW3
+    if level >= _POW3.size:
+        _POW3 = 3.0 ** (-np.arange(2 * level, dtype=float))
+    return float(_POW3[level])
+
 
 @dataclass
 class SearchOutcome:
@@ -46,7 +57,7 @@ class SearchOutcome:
     n_iterations: int
 
 
-@dataclass
+@dataclass(slots=True)
 class _Rect:
     """A hyperrectangle in the normalized unit cube."""
 
@@ -55,6 +66,7 @@ class _Rect:
     levels: np.ndarray  # trisection count per dimension; side_k = 3^-levels_k
     size: float = field(default=0.0)  # cached size measure, set by Direct
     size_key: float = field(default=0.0)  # size rounded for grouping, ditto
+    min_level: int = field(default=0)  # cached min(levels), ditto
 
     def side_lengths(self) -> np.ndarray:
         return 3.0 ** (-self.levels.astype(float))
@@ -96,17 +108,20 @@ class Direct(Optimizer):
     # -- geometry helpers --------------------------------------------------
 
     def _size(self, rect: _Rect) -> float:
-        sides = rect.side_lengths()
         if self.locally_biased:
-            return float(np.max(sides))  # longest side (Gablonsky)
+            return _pow3(rect.min_level)  # longest side (Gablonsky)
+        sides = rect.side_lengths()
         return float(0.5 * np.linalg.norm(sides))  # half-diagonal (Jones)
 
     def _set_size(self, rect: _Rect) -> None:
         """Cache the size measure and its rounded grouping key on the rect.
 
         The selection loop groups every live rectangle per iteration; caching
-        ``round(size, 12)`` here keeps that loop free of number formatting.
+        ``round(size, 12)`` here keeps that loop free of number formatting,
+        and caching ``min(levels)`` spares the division planner per-rect
+        array reductions.
         """
+        rect.min_level = int(rect.levels.min())
         rect.size = self._size(rect)
         rect.size_key = round(rect.size, 12)
 
@@ -196,6 +211,11 @@ class Direct(Optimizer):
         root = _Rect(center=center, f=best_f, levels=np.zeros(dim, dtype=int))
         self._set_size(root)
         rects: list[_Rect] = [root]
+        # parallel scalar mirrors of rects: the per-iteration grouping pass
+        # touches every live rectangle, and plain-float list iteration beats
+        # per-rect attribute lookups there
+        size_keys: list[float] = [root.size_key]
+        fs: list[float] = [root.f]
         message = "max iterations reached"
         success = False
         iteration = 0
@@ -207,11 +227,10 @@ class Direct(Optimizer):
 
             # group rectangles by (cached) size measure, per-size minimum
             by_size: dict[float, tuple[float, int]] = {}
-            for i, rect in enumerate(rects):
-                size = rect.size_key
+            for i, (size, f) in enumerate(zip(size_keys, fs)):
                 best = by_size.get(size)
-                if best is None or rect.f < best[0]:
-                    by_size[size] = (rect.f, i)
+                if best is None or f < best[0]:
+                    by_size[size] = (f, i)
             groups = sorted(
                 (size, f, idx) for size, (f, idx) in by_size.items()
             )
@@ -234,7 +253,7 @@ class Direct(Optimizer):
                     for k in self._division_dims(rects[rect_idx]):
                         if simulated + 2 > self.max_evaluations:
                             break
-                        pairs.append(int(k))
+                        pairs.append(k)
                         simulated += 2
                     plan.append((rect_idx, pairs))
                 if plan:
@@ -242,7 +261,9 @@ class Direct(Optimizer):
                     values = yield points
                     count += points.shape[0]
                     best_f = min(best_f, float(np.min(values)))
-                    self._apply_divisions(rects, plan, points, values)
+                    self._apply_divisions(
+                        rects, size_keys, fs, plan, points, values
+                    )
                 if budget_exhausted:
                     message, success = self._stop_reason(best_f)
                     break
@@ -257,7 +278,7 @@ class Direct(Optimizer):
                     for k in self._division_dims(rects[rect_idx]):
                         if simulated + 2 > self.max_evaluations:
                             break
-                        pairs.append(int(k))
+                        pairs.append(k)
                         simulated += 2
                     if not pairs:
                         continue
@@ -266,7 +287,9 @@ class Direct(Optimizer):
                     values = yield points
                     count += points.shape[0]
                     best_f = min(best_f, float(np.min(values)))
-                    self._apply_divisions(rects, plan, points, values)
+                    self._apply_divisions(
+                        rects, size_keys, fs, plan, points, values
+                    )
                 if budget_exhausted:
                     message, success = self._stop_reason(best_f)
                     break
@@ -291,13 +314,12 @@ class Direct(Optimizer):
             return "f_target reached", True
         return "evaluation budget exhausted", False
 
-    def _division_dims(self, rect: _Rect) -> np.ndarray:
+    def _division_dims(self, rect: _Rect) -> list[int]:
         """Longest-side dimensions eligible for trisection."""
-        min_level = int(np.min(rect.levels))
-        longest = np.flatnonzero(rect.levels == min_level)
         if self.locally_biased:
-            longest = longest[:1]  # single longest side (DIRECT-L)
-        return longest
+            # single longest side (DIRECT-L): argmin is its first occurrence
+            return [int(np.argmin(rect.levels))]
+        return [int(k) for k in np.flatnonzero(rect.levels == rect.min_level)]
 
     @staticmethod
     def _planned_points(
@@ -307,7 +329,7 @@ class Direct(Optimizer):
         points: list[np.ndarray] = []
         for rect_idx, pairs in plan:
             rect = rects[rect_idx]
-            delta = 3.0 ** (-(int(np.min(rect.levels)) + 1))
+            delta = 3.0 ** (-(rect.min_level + 1))
             for k in pairs:
                 plus = rect.center.copy()
                 plus[k] += delta
@@ -320,6 +342,8 @@ class Direct(Optimizer):
     def _apply_divisions(
         self,
         rects: list[_Rect],
+        size_keys: list[float],
+        fs: list[float],
         plan: list[tuple[int, list[int]]],
         points: np.ndarray,
         values: np.ndarray,
@@ -343,11 +367,17 @@ class Direct(Optimizer):
             levels = rect.levels.copy()
             for k, f_plus, f_minus, plus, minus in samples:
                 levels[k] += 1
+                # siblings share geometry: snapshot the levels once and
+                # measure once, never mutated after a child is re-divided
+                child_levels = levels.copy()
                 for child_center, child_f in ((plus, f_plus), (minus, f_minus)):
                     child = _Rect(
-                        center=child_center, f=child_f, levels=levels.copy()
+                        center=child_center, f=child_f, levels=child_levels
                     )
                     self._set_size(child)
                     rects.append(child)
+                    size_keys.append(child.size_key)
+                    fs.append(child_f)
             rect.levels = levels
             self._set_size(rect)
+            size_keys[rect_idx] = rect.size_key

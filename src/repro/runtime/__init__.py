@@ -15,6 +15,7 @@ Public surface of the evaluation layer described in DESIGN.md §10:
 """
 
 from repro.runtime.broker import (
+    DISPATCH_MODES,
     FAILURE_POLICIES,
     BrokerConfig,
     BrokerStats,
@@ -25,7 +26,12 @@ from repro.runtime.broker import (
     RuntimePolicy,
     make_broker,
 )
-from repro.runtime.cache import DEFAULT_DECIMALS, ResultCache, point_digest
+from repro.runtime.cache import (
+    DEFAULT_DECIMALS,
+    ResultCache,
+    batch_digests,
+    point_digest,
+)
 from repro.runtime.faults import (
     FaultInjectingObjective,
     FaultInjectingTestbench,
@@ -45,6 +51,7 @@ __all__ = [
     "DEFAULT_DECIMALS",
     "FAILURE_POLICIES",
     "LEDGER_VERSION",
+    "DISPATCH_MODES",
     "BrokerConfig",
     "BrokerStats",
     "EvalBatch",
@@ -58,6 +65,7 @@ __all__ = [
     "NonFiniteResultError",
     "Objective",
     "ResultCache",
+    "batch_digests",
     "ResumeState",
     "RunLedger",
     "RuntimePolicy",

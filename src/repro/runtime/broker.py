@@ -54,6 +54,9 @@ from repro.utils.validation import as_matrix
 #: Recognized failure policies.
 FAILURE_POLICIES = ("raise", "skip", "penalty")
 
+#: Recognized dispatch modes (see :attr:`BrokerConfig.dispatch`).
+DISPATCH_MODES = ("auto", "row", "chunk")
+
 
 class EvaluationError(RuntimeError):
     """An evaluation failed after exhausting its retry budget."""
@@ -92,6 +95,23 @@ class BrokerConfig:
         or an explicit :data:`~repro.utils.parallel.POOL_KINDS` entry.
     cache_decimals:
         Rounding applied to points before content-addressing.
+    dispatch:
+        ``"row"`` makes one ``objective.evaluate((1, D))`` call per point
+        (the historical behavior); ``"chunk"`` partitions each round's
+        pending points into contiguous chunks and makes one vectorized
+        ``objective.evaluate((k, D))`` call per chunk.  ``"auto"``
+        (default) picks ``"chunk"`` when the objective declares
+        :attr:`~repro.runtime.objective.Objective.prefers_batch` and no
+        per-evaluation timeout is set, ``"row"`` otherwise.  Chunked
+        dispatch preserves per-point ledger events, retry/failure policies
+        and cached values; per-point durations become the chunk mean, and
+        a chunk-level exception falls back to row-wise dispatch of that
+        chunk within the same retry round (objectives whose *failures* are
+        stateful per attempt should keep row dispatch).
+    chunk_size:
+        Maximum points per vectorized chunk; ``None`` splits each round
+        evenly across ``n_jobs`` workers (one chunk total when
+        ``n_jobs=1``).
     """
 
     timeout_seconds: float | None = None
@@ -104,6 +124,8 @@ class BrokerConfig:
     n_jobs: int = 1
     executor: str = "auto"
     cache_decimals: int = DEFAULT_DECIMALS
+    dispatch: str = "auto"
+    chunk_size: int | None = None
 
     def __post_init__(self) -> None:
         if self.timeout_seconds is not None and self.timeout_seconds <= 0:
@@ -134,6 +156,21 @@ class BrokerConfig:
                 f"executor must be 'auto' or one of {POOL_KINDS}, "
                 f"got {self.executor!r}"
             )
+        if self.dispatch not in DISPATCH_MODES:
+            raise ValueError(
+                f"dispatch must be one of {DISPATCH_MODES}, "
+                f"got {self.dispatch!r}"
+            )
+        if self.dispatch == "chunk" and self.timeout_seconds is not None:
+            raise ValueError(
+                "dispatch='chunk' cannot enforce a per-evaluation timeout "
+                "(one vectorized call covers many points); use row dispatch "
+                "or drop timeout_seconds"
+            )
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError(
+                f"chunk_size must be >= 1 when set, got {self.chunk_size}"
+            )
 
     def resolve_executor(self) -> str:
         if self.executor != "auto":
@@ -141,6 +178,16 @@ class BrokerConfig:
         if self.timeout_seconds is not None or self.n_jobs > 1:
             return "thread"
         return "inline"
+
+    def resolve_dispatch(self, objective: object = None) -> str:
+        """The concrete dispatch mode for ``objective`` (never ``"auto"``)."""
+        if self.dispatch != "auto":
+            return self.dispatch
+        if self.timeout_seconds is not None:
+            return "row"
+        if getattr(objective, "prefers_batch", False):
+            return "chunk"
+        return "row"
 
 
 @dataclass
@@ -276,6 +323,78 @@ class EvaluationBroker:
             )
         return value, seconds
 
+    def _simulate_chunk(self, X: FloatArray) -> tuple[FloatArray, float]:
+        """One vectorized objective call over a ``(k, dim)`` chunk.
+
+        NaN rows are *not* raised here — they surface per point in
+        :meth:`_run_chunks` so one bad row quarantines alone instead of
+        failing its whole chunk.
+        """
+        start = time.perf_counter()
+        out = np.asarray(self.objective.evaluate(X), dtype=float).reshape(-1)
+        seconds = time.perf_counter() - start
+        if out.shape[0] != X.shape[0]:
+            raise ValueError(
+                f"{type(self.objective).__name__}.evaluate returned "
+                f"{out.shape[0]} values for {X.shape[0]} rows"
+            )
+        return out, seconds
+
+    def _chunk_bounds(self, n: int) -> list[tuple[int, int]]:
+        size = self.config.chunk_size
+        if size is None:
+            size = -(-n // max(1, self.config.n_jobs))  # ceil division
+        return [(lo, min(lo + size, n)) for lo in range(0, n, size)]
+
+    def _run_chunks(
+        self, pool: WorkerPool, pending: list[_Pending]
+    ) -> list[tuple[Any, BaseException | None]]:
+        """Chunked vectorized dispatch of one retry round.
+
+        Returns per-point ``(result, error)`` outcomes aligned with
+        ``pending``, exactly the shape row-wise ``pool.run_tasks`` hands
+        back — the bookkeeping loop (ledger events, retry/failure
+        policies, stats) is shared between both dispatch modes.  A
+        chunk-level exception re-dispatches that chunk row by row within
+        the same round, so every point still resolves to one outcome per
+        attempt; per-point seconds are the chunk mean (the total stays
+        exact).
+        """
+        bounds = self._chunk_bounds(len(pending))
+        chunk_outcomes = pool.run_tasks(
+            self._simulate_chunk,
+            [np.stack([p.x for p in pending[lo:hi]]) for lo, hi in bounds],
+            timeout=None,
+        )
+        outcomes: list[tuple[Any, BaseException | None]] = []
+        for (lo, hi), (result, error) in zip(bounds, chunk_outcomes):
+            rows = pending[lo:hi]
+            if error is not None:
+                # mixed-health chunk: one raising row poisons the whole
+                # vectorized call — fall back to row dispatch for it
+                outcomes.extend(
+                    pool.run_tasks(
+                        self._simulate, [p.x for p in rows], timeout=None
+                    )
+                )
+                continue
+            out, seconds = result  # type: ignore[misc]
+            per_point = seconds / max(1, len(rows))
+            for i in range(len(rows)):
+                value = float(out[i])
+                if math.isfinite(value):
+                    outcomes.append(((value, per_point), None))
+                else:
+                    outcomes.append(
+                        (
+                            None,
+                            NonFiniteResultError(
+                                f"objective returned non-finite value {value!r}"
+                            ),
+                        )
+                    )
+        return outcomes
+
     def _backoff_delay(self, attempt: int) -> float:
         delay = self.config.backoff_seconds * self.config.backoff_factor**attempt
         if self.config.backoff_jitter > 0.0:
@@ -324,13 +443,20 @@ class EvaluationBroker:
         pending: list[_Pending] = []
         first_pos: dict[str, int] = {}
         duplicates: list[tuple[int, int, str]] = []  # (pos, eval_id, digest)
+        # one vectorized rounding/hash pass over the whole block, and one
+        # lock acquisition for all lookups (hit/miss counting matches the
+        # equivalent per-point get() sequence exactly)
+        digests = self.cache.keys_for_batch(self.objective.cache_key, X)
+        hits = self.cache.get_many(digests)
+        batch_hits = 0
         for pos in range(n):
-            digest = self.cache.key_for(self.objective.cache_key, X[pos])
+            digest = digests[pos]
             eval_id = self._next_id
             self._next_id += 1
-            hit = self.cache.get(digest)
+            hit = hits[pos]
             if hit is not None:
                 self.stats.n_cache_hits += 1
+                batch_hits += 1
                 self._metrics.counter("cache.hits").inc()
                 values[pos] = hit
                 self._log(
@@ -361,6 +487,7 @@ class EvaluationBroker:
                 self._log({"event": "skipped", "id": eval_id})
             elif digest in self.cache:  # completed (penalties are not cached)
                 self.stats.n_cache_hits += 1
+                batch_hits += 1
                 self._metrics.counter("cache.hits").inc()
                 values[pos] = values[lead]
                 self._log(
@@ -377,6 +504,13 @@ class EvaluationBroker:
                 self._log(
                     {"event": "penalized", "id": eval_id, "y": values[lead]}
                 )
+
+        if n:
+            # land the batch's hit/miss split on whatever phase span is
+            # open (iteration / init_design): cache hits emit no evaluate
+            # span, so this is how per-phase hit rates reach the report
+            self._tracer.annotate("cache_hits", batch_hits)
+            self._tracer.annotate("cache_misses", len(pending))
 
         keep = [i for i in range(n) if not dropped[i]]
         y = np.array([values[i] for i in keep], dtype=float)
@@ -397,6 +531,7 @@ class EvaluationBroker:
         dropped: list[bool],
     ) -> None:
         kind = self.config.resolve_executor()
+        dispatch = self.config.resolve_dispatch(self.objective)
         pool = WorkerPool(kind=kind, n_jobs=self.config.n_jobs)
         attempt = 0
         try:
@@ -410,11 +545,14 @@ class EvaluationBroker:
                             "digest": p.digest,
                         }
                     )
-                outcomes = pool.run_tasks(
-                    self._simulate,
-                    [p.x for p in pending],
-                    timeout=self.config.timeout_seconds,
-                )
+                if dispatch == "chunk" and len(pending) > 1:
+                    outcomes = self._run_chunks(pool, pending)
+                else:
+                    outcomes = pool.run_tasks(
+                        self._simulate,
+                        [p.x for p in pending],
+                        timeout=self.config.timeout_seconds,
+                    )
                 failed: list[tuple[_Pending, BaseException]] = []
                 timed_out = False
                 for p, (result, error) in zip(pending, outcomes):
@@ -559,6 +697,7 @@ def make_broker(
 
 
 __all__ = [
+    "DISPATCH_MODES",
     "FAILURE_POLICIES",
     "BrokerConfig",
     "BrokerStats",

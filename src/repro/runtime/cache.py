@@ -46,6 +46,25 @@ def point_digest(
     return hashlib.sha256(payload).hexdigest()
 
 
+@shape_contract("X: a(n, d)")
+def batch_digests(
+    cache_key: str, X: ArrayLike, decimals: int = DEFAULT_DECIMALS
+) -> list[str]:
+    """Digests for a whole ``(n, d)`` block in one vectorized pass.
+
+    The rounding and ``-0.0`` fold run once over the full block instead of
+    row by row; each digest is byte-identical to :func:`point_digest` on
+    the corresponding row (``np.round`` and the ``+ 0.0`` fold are
+    elementwise, so batching cannot change any byte of a row's payload).
+    """
+    arr = np.ascontiguousarray(np.asarray(X, dtype=np.float64))
+    rounded = np.ascontiguousarray(np.round(arr, decimals) + 0.0)
+    prefix = b"|".join([cache_key.encode("utf-8"), str(int(decimals)).encode(), b""])
+    return [
+        hashlib.sha256(prefix + row.tobytes()).hexdigest() for row in rounded
+    ]
+
+
 class ResultCache:
     """Thread-safe digest → objective-value store with hit/miss counters."""
 
@@ -70,6 +89,27 @@ class ResultCache:
                 return self._store[digest]
             self.misses += 1
             return None
+
+    def keys_for_batch(self, cache_key: str, X: ArrayLike) -> list[str]:
+        """Digests for every row of ``X`` (one vectorized rounding pass)."""
+        return batch_digests(cache_key, X, decimals=self.decimals)
+
+    def get_many(self, digests: list[str]) -> list[float | None]:
+        """Look up many digests under a single lock acquisition.
+
+        Counts one hit or miss per digest, exactly as the equivalent
+        sequence of :meth:`get` calls would.
+        """
+        out: list[float | None] = []
+        with self._lock:
+            for digest in digests:
+                if digest in self._store:
+                    self.hits += 1
+                    out.append(self._store[digest])
+                else:
+                    self.misses += 1
+                    out.append(None)
+        return out
 
     def put(self, digest: str, value: float) -> None:
         with self._lock:
@@ -103,4 +143,4 @@ class ResultCache:
         self._lock = threading.Lock()
 
 
-__all__ = ["DEFAULT_DECIMALS", "ResultCache", "point_digest"]
+__all__ = ["DEFAULT_DECIMALS", "ResultCache", "batch_digests", "point_digest"]

@@ -66,6 +66,18 @@ class Objective(abc.ABC):
         """
         return f"{type(self).__module__}.{type(self).__qualname__}[d={self.dim}]"
 
+    @property
+    def prefers_batch(self) -> bool:
+        """Whether the broker should hand :meth:`evaluate` whole chunks.
+
+        ``True`` declares that a ``(k, dim)`` call is genuinely vectorized
+        — cheaper than ``k`` single-row calls and free of per-row state
+        that retries depend on — so ``dispatch="auto"`` may use chunked
+        dispatch.  The conservative default is ``False``: row-at-a-time
+        dispatch, which any correct :meth:`evaluate` supports.
+        """
+        return False
+
     @abc.abstractmethod
     def evaluate(self, X: FloatArray) -> FloatArray:
         """Evaluate a batch ``X`` of shape ``(n, dim)``; returns ``(n,)``."""
@@ -125,6 +137,10 @@ class FunctionObjective(Objective):
             cache_key = f"{module}.{name}[d={self._dim}]"
         self._cache_key = str(cache_key)
         self._vectorized = bool(vectorized)
+
+    @property
+    def prefers_batch(self) -> bool:
+        return self._vectorized
 
     @property
     def dim(self) -> int:

@@ -16,7 +16,6 @@ The classifier is a from-scratch ridge-regularized logistic regression
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -213,19 +212,3 @@ class StatisticalBlockade:
             },
         )
 
-    def run(
-        self,
-        objective: Objective,
-        bounds=None,
-        threshold: float | None = None,
-        runtime: RuntimePolicy | None = None,
-    ) -> RunResult:
-        """Deprecated positional entry point; use :meth:`solve`."""
-        warnings.warn(
-            "StatisticalBlockade.run() is deprecated; use "
-            "solve(objective=..., spec=RunSpec(...)) or the Campaign facade",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        spec = RunSpec(bounds=bounds, threshold=threshold)
-        return self.solve(objective=objective, spec=spec, policy=runtime)

@@ -6,7 +6,6 @@ the large hyper-cube, uniform sampling distribution is adopted for MC."
 
 from __future__ import annotations
 
-import warnings
 
 from repro.bo.engine import RunSpec
 from repro.bo.records import RunRecorder, RunResult
@@ -79,19 +78,3 @@ class MonteCarloSampler:
             eval_seconds=broker.stats.eval_seconds,
         )
 
-    def run(
-        self,
-        objective: Objective,
-        bounds=None,
-        threshold: float | None = None,
-        runtime: RuntimePolicy | None = None,
-    ) -> RunResult:
-        """Deprecated positional entry point; use :meth:`solve`."""
-        warnings.warn(
-            "MonteCarloSampler.run() is deprecated; use "
-            "solve(objective=..., spec=RunSpec(...)) or the Campaign facade",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        spec = RunSpec(bounds=bounds, threshold=threshold)
-        return self.solve(objective=objective, spec=spec, policy=runtime)

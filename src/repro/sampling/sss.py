@@ -22,7 +22,6 @@ point inside the verification region.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -172,22 +171,6 @@ class ScaledSigmaSampler:
             extra=extra,
         )
 
-    def run(
-        self,
-        objective: Objective,
-        bounds=None,
-        threshold: float | None = None,
-        runtime: RuntimePolicy | None = None,
-    ) -> RunResult:
-        """Deprecated positional entry point; use :meth:`solve`."""
-        warnings.warn(
-            "ScaledSigmaSampler.run() is deprecated; use "
-            "solve(objective=..., spec=RunSpec(...)) or the Campaign facade",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        spec = RunSpec(bounds=bounds, threshold=threshold)
-        return self.solve(objective=objective, spec=spec, policy=runtime)
 
     def _fit_model(self, fractions: np.ndarray) -> SSSModelFit | None:
         """Least-squares fit of the three-parameter SSS model.

@@ -33,6 +33,16 @@ class PhaseRow:
     mean_seconds: float
     share: float  # fraction of summed campaign-span time
     evaluations: int  # summed "fevals"/eval-count attributes, if any
+    cache_hits: int  # summed broker "cache_hits" attributes
+    cache_misses: int  # summed broker "cache_misses" attributes
+
+    @property
+    def cache_rate(self) -> float | None:
+        """Fraction of intake rows served from cache, or None if untracked."""
+        lookups = self.cache_hits + self.cache_misses
+        if lookups == 0:
+            return None
+        return self.cache_hits / lookups
 
 
 #: Attribute keys that count evaluations, searched in priority order.
@@ -47,21 +57,31 @@ def _span_evaluations(span: TraceSpan) -> int:
     return 0
 
 
+def _span_counter(span: TraceSpan, key: str) -> int:
+    value = span.attrs.get(key)
+    return int(value) if isinstance(value, (int, float)) else 0
+
+
 def phase_breakdown(trace: Trace) -> list[PhaseRow]:
     """Aggregate spans by name, largest total time first.
 
     ``share`` is relative to the summed duration of the ``campaign``
     root spans (falling back to the summed root spans of any name when a
-    trace was produced without a campaign wrapper).
+    trace was produced without a campaign wrapper).  Cache hit/miss
+    counters are the broker's batched-intake annotations
+    (:meth:`~repro.telemetry.trace.Tracer.annotate`), so the hit-rate
+    column shows where the result cache absorbed simulations.
     """
     roots = trace.named("campaign") or trace.roots()
     wall = sum(s.dt for s in roots) or 1.0
     totals: dict[str, list[float]] = {}
     for span in trace:
-        cell = totals.setdefault(span.name, [0, 0.0, 0])
+        cell = totals.setdefault(span.name, [0, 0.0, 0, 0, 0])
         cell[0] += 1
         cell[1] += span.dt
         cell[2] += _span_evaluations(span)
+        cell[3] += _span_counter(span, "cache_hits")
+        cell[4] += _span_counter(span, "cache_misses")
     rows = [
         PhaseRow(
             name=name,
@@ -70,6 +90,8 @@ def phase_breakdown(trace: Trace) -> list[PhaseRow]:
             mean_seconds=cell[1] / cell[0],
             share=cell[1] / wall,
             evaluations=int(cell[2]),
+            cache_hits=int(cell[3]),
+            cache_misses=int(cell[4]),
         )
         for name, cell in totals.items()
     ]
@@ -88,11 +110,26 @@ def render_report(trace: Trace, title: str | None = None) -> str:
             f"{1000.0 * row.mean_seconds:.2f}ms",
             f"{100.0 * row.share:.1f}%",
             row.evaluations or "-",
+            row.cache_hits if row.cache_rate is not None else "-",
+            (
+                f"{100.0 * row.cache_rate:.1f}%"
+                if row.cache_rate is not None
+                else "-"
+            ),
         ]
         for row in rows
     ]
     return render_table(
-        ["phase", "spans", "total", "mean", "% of campaign", "evals"],
+        [
+            "phase",
+            "spans",
+            "total",
+            "mean",
+            "% of campaign",
+            "evals",
+            "hits",
+            "hit rate",
+        ],
         body,
         title=title,
     )

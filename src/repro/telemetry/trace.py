@@ -142,6 +142,9 @@ class NullTracer:
     ) -> None:
         pass
 
+    def annotate(self, key: str, value: float) -> None:
+        pass
+
     def close(self) -> None:
         pass
 
@@ -183,6 +186,7 @@ class Tracer:
         self._fh: IO[str] | None = None
         self._next_id = 1
         self._stack: list[int] = []
+        self._open_handles: list[SpanHandle] = []
         #: Every emitted span line, in emission order (kept even when
         #: writing to a file, so reconciliation never re-reads the disk).
         self.finished: list[dict[str, Any]] = []
@@ -202,6 +206,7 @@ class Tracer:
 
     def _open(self, handle: SpanHandle) -> float:
         self._stack.append(handle.span_id)
+        self._open_handles.append(handle)
         return self._clock() - self._epoch
 
     def _close(self, handle: SpanHandle, t0: float) -> None:
@@ -211,6 +216,7 @@ class Tracer:
                 f"{self._stack})"
             )
         self._stack.pop()
+        self._open_handles.pop()
         self._emit(
             handle.name,
             handle.span_id,
@@ -238,6 +244,18 @@ class Tracer:
         self._next_id += 1
         t0 = max(0.0, now - float(seconds))
         self._emit(name, span_id, self.current_id, t0, float(seconds), attrs or {})
+
+    def annotate(self, key: str, value: float) -> None:
+        """Accumulate a numeric attribute onto the innermost *open* span.
+
+        Lets code that does not own a span handle (the broker annotating
+        the engine's enclosing ``iteration``/``init_design`` span with
+        cache-hit counts) attach attributes without threading handles
+        through every call site.  No open span means nothing to annotate —
+        the call is a silent no-op, mirroring :class:`NullTracer`.
+        """
+        if self._open_handles:
+            self._open_handles[-1].add(key, value)
 
     # -- emission ------------------------------------------------------------
 

@@ -1,0 +1,171 @@
+"""Tests for the opt-in compiled kernel backend (``REPRO_BACKEND``).
+
+The numpy path is the reference; the gating tests run everywhere, while
+the numpy-vs-numba agreement pins are skipped cleanly when numba is not
+installed (the default container ships without it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    BACKEND_ENV,
+    BackendUnavailableError,
+    compiled_ops,
+    numba_available,
+    requested_backend,
+)
+from repro.gp import GaussianProcess
+from repro.gp.evaluator import MarginalLikelihoodEvaluator
+from repro.kernels import Matern52, SquaredExponential
+
+
+def _dataset(n, d, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1.0, 1.0, (n, d))
+    y = np.sin(X.sum(axis=1)) + 0.1 * rng.standard_normal(n)
+    return X, y
+
+
+class TestBackendSelection:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert requested_backend() == "numpy"
+        assert compiled_ops() is None
+
+    def test_explicit_numpy(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        assert requested_backend() == "numpy"
+        assert compiled_ops() is None
+
+    def test_name_normalized(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "  NumPy ")
+        assert requested_backend() == "numpy"
+        monkeypatch.setenv(BACKEND_ENV, "")
+        assert requested_backend() == "numpy"
+
+    def test_unknown_backend_rejected(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "cupy")
+        with pytest.raises(ValueError, match="not a known backend"):
+            requested_backend()
+        with pytest.raises(ValueError, match="not a known backend"):
+            compiled_ops()
+
+    @pytest.mark.skipif(
+        numba_available(), reason="numba installed: the request succeeds"
+    )
+    def test_numba_without_install_fails_loudly(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "numba")
+        with pytest.raises(BackendUnavailableError, match="numba"):
+            compiled_ops()
+
+    def test_hot_path_unaffected_by_default(self, monkeypatch):
+        """The numpy default never routes through compiled ops."""
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        X, y = _dataset(20, 3, seed=1)
+        gp = GaussianProcess(Matern52(dim=3, ard=True), noise_variance=1e-4)
+        gp.fit(X, y)
+        lml, grad = MarginalLikelihoodEvaluator(gp).evaluate(gp.theta)
+        assert np.isfinite(lml)
+        assert np.all(np.isfinite(grad))
+
+
+@pytest.mark.skipif(not numba_available(), reason="numba not installed")
+class TestNumbaAgreement:
+    """Numpy-vs-numba pins at 1e-8 (only run where numba exists)."""
+
+    @pytest.fixture()
+    def ops(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "numba")
+        return compiled_ops()
+
+    def test_matern52_corr_and_grad(self, ops):
+        rng = np.random.default_rng(2)
+        sq = rng.uniform(0.0, 9.0, (16, 16))
+        g = np.empty_like(sq)
+        dg = np.empty_like(sq)
+        ops.matern52_corr_grad(sq, g, dg)
+        r = np.sqrt(sq)
+        sqrt5 = np.sqrt(5.0)
+        expected_g = (1.0 + sqrt5 * r + (5.0 / 3.0) * sq) * np.exp(-sqrt5 * r)
+        expected_dg = -(5.0 / 6.0) * (1.0 + sqrt5 * r) * np.exp(-sqrt5 * r)
+        np.testing.assert_allclose(g, expected_g, atol=1e-8)
+        np.testing.assert_allclose(dg, expected_dg, atol=1e-8)
+        g2 = np.empty_like(sq)
+        ops.matern52_corr(sq, g2)
+        np.testing.assert_allclose(g2, expected_g, atol=1e-8)
+
+    def test_rbf_corr_and_grad(self, ops):
+        rng = np.random.default_rng(3)
+        sq = rng.uniform(0.0, 9.0, (12, 12))
+        g = np.empty_like(sq)
+        dg = np.empty_like(sq)
+        ops.rbf_corr_grad(sq, g, dg)
+        np.testing.assert_allclose(g, np.exp(-0.5 * sq), atol=1e-8)
+        np.testing.assert_allclose(dg, -0.5 * np.exp(-0.5 * sq), atol=1e-8)
+
+    def test_ard_grad_vec(self, ops):
+        rng = np.random.default_rng(4)
+        X = rng.standard_normal((15, 4))
+        W = rng.standard_normal((15, 15))
+        vec = ops.ard_grad_vec(W, X)
+        diff = X[:, None, :] - X[None, :, :]
+        expected = np.einsum("ij,ijk->k", W, diff**2)
+        np.testing.assert_allclose(vec, expected, atol=1e-8)
+
+    def test_assemble_inner(self, ops):
+        rng = np.random.default_rng(5)
+        n = 10
+        alpha = rng.standard_normal(n)
+        full_inv = rng.standard_normal((n, n))
+        full_inv = full_inv @ full_inv.T  # symmetric, like K^{-1}
+        inv_lower = np.tril(full_inv)  # dpotri layout
+        out = np.empty((n, n))
+        ops.assemble_inner(alpha, inv_lower, out)
+        expected = np.outer(alpha, alpha) - full_inv
+        np.testing.assert_allclose(out, expected, atol=1e-8)
+
+    @pytest.mark.parametrize("kernel_name", ["matern52", "se"])
+    def test_lml_and_gradient_match_numpy(self, monkeypatch, kernel_name):
+        """End-to-end: the evaluator agrees across backends at 1e-8."""
+        kernels = {
+            "matern52": lambda: Matern52(dim=3, ard=True),
+            "se": lambda: SquaredExponential(dim=3),
+        }
+        X, y = _dataset(30, 3, seed=6)
+        results = {}
+        for backend in ("numpy", "numba"):
+            monkeypatch.setenv(BACKEND_ENV, backend)
+            gp = GaussianProcess(
+                kernels[kernel_name](), noise_variance=1e-3, train_noise=True
+            ).fit(X, y)
+            evaluator = MarginalLikelihoodEvaluator(gp)
+            results[backend] = evaluator.evaluate(gp.theta + 0.2)
+        lml_np, grad_np = results["numpy"]
+        lml_nb, grad_nb = results["numba"]
+        assert lml_nb == pytest.approx(lml_np, abs=1e-8)
+        np.testing.assert_allclose(grad_nb, grad_np, atol=1e-8)
+
+    @pytest.mark.parametrize("kernel_name", ["matern52", "se"])
+    def test_posterior_matches_numpy(self, monkeypatch, kernel_name):
+        kernels = {
+            "matern52": lambda: Matern52(dim=3, ard=True),
+            "se": lambda: SquaredExponential(dim=3),
+        }
+        X, y = _dataset(30, 3, seed=7)
+        Z = _dataset(12, 3, seed=8)[0]
+        preds = {}
+        for backend in ("numpy", "numba"):
+            monkeypatch.setenv(BACKEND_ENV, backend)
+            gp = GaussianProcess(
+                kernels[kernel_name](), noise_variance=1e-4
+            ).fit(X, y)
+            preds[backend] = gp.predict(Z)
+        np.testing.assert_allclose(
+            preds["numba"].mean, preds["numpy"].mean, atol=1e-8
+        )
+        np.testing.assert_allclose(
+            preds["numba"].variance, preds["numpy"].variance, atol=1e-8
+        )

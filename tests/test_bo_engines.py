@@ -129,11 +129,10 @@ class TestSequentialBO:
         with pytest.raises(TypeError, match="FunctionObjective"):
             engine.solve(objective=bowl, spec=RunSpec(n_init=4, budget=8))
 
-    def test_deprecated_run_wrapper(self):
-        engine = SequentialBO(seed=0, acquisition_optimizer_factory=tiny_optimizer)
-        with pytest.warns(DeprecationWarning, match="solve"):
-            result = engine.run(bowl_objective(2), n_init=4, budget=8)
-        assert result.n_evaluations == 8
+    def test_run_wrapper_removed(self):
+        # the deprecated positional run() entry point is gone; solve()
+        # and the Campaign facade are the only ways in
+        assert not hasattr(SequentialBO(seed=0), "run")
 
     def test_unknown_acquisition(self):
         with pytest.raises(ValueError):

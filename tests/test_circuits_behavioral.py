@@ -202,3 +202,42 @@ def test_property_uvlo_deterministic_and_finite(seed):
     b = tb.performance("delta_vthl", x)
     assert a == b
     assert np.isfinite(a) and a >= 0.0
+
+
+class TestVectorizedObjectives:
+    """Batched testbench evaluation must be bitwise batch-size invariant."""
+
+    @pytest.mark.parametrize(
+        "tb_cls, name",
+        [
+            (UVLOTestbench, "delta_vthl"),
+            (LDOTestbench, "load_regulation"),
+            (LDOTestbench, "quiescent_current"),
+            (LDOTestbench, "undershoot"),
+        ],
+    )
+    def test_batch_matches_per_row_bitwise(self, tb_cls, name):
+        tb = tb_cls()
+        rng = np.random.default_rng(17)
+        X = rng.uniform(-1.0, 1.0, (31, tb.dim))
+        objective = tb.objective(name)
+        batched = objective.evaluate(X)
+        rowwise = np.concatenate(
+            [objective.evaluate(x[None, :]) for x in X]
+        )
+        # the margin contractions are einsum-based, so a whole block and a
+        # single row produce the same floats bit for bit — this is what
+        # makes chunked broker dispatch and resume bitwise-compatible
+        np.testing.assert_array_equal(batched, rowwise)
+
+    def test_performance_batch_matches_scalar(self):
+        tb = UVLOTestbench()
+        rng = np.random.default_rng(23)
+        X = rng.uniform(-1.0, 1.0, (9, tb.dim))
+        batched = tb.performance_batch("delta_vthl", X)
+        scalar = np.array([tb.performance("delta_vthl", x) for x in X])
+        np.testing.assert_array_equal(batched, scalar)
+
+    def test_objectives_prefer_batch_dispatch(self):
+        assert UVLOTestbench().objective("delta_vthl").prefers_batch
+        assert LDOTestbench().objective("load_regulation").prefers_batch

@@ -75,3 +75,53 @@ class TestLDODemo:
     def test_variation_shape_validated(self):
         with pytest.raises(ValueError):
             LDODemo(np.zeros(2))
+
+
+class TestMNAObjectives:
+    def test_ldo_objective_identity_and_rows(self):
+        from repro.circuits.mna import ldo_demo_objective
+
+        objective = ldo_demo_objective("load_regulation")
+        assert objective.dim == LDO_DEMO_DIM
+        assert not objective.prefers_batch  # row dispatch: fault isolation
+        assert objective.threshold is None
+        assert objective.cache_key == "LDODemo:load_regulation"
+        rng = np.random.default_rng(3)
+        X = rng.uniform(-1.0, 1.0, (4, LDO_DEMO_DIM))
+        batched = objective.evaluate(X)
+        rowwise = np.array(
+            [LDODemo(x).load_regulation() for x in X]
+        )
+        np.testing.assert_array_equal(batched, rowwise)
+
+    def test_ldo_objective_spec_orientation(self):
+        from repro.bo.spec import Specification
+        from repro.circuits.mna import ldo_demo_objective
+
+        spec = Specification(
+            "load regulation", threshold=0.22, failure_when="above", units="%"
+        )
+        objective = ldo_demo_objective("load_regulation", spec=spec)
+        assert objective.threshold == spec.minimization_threshold
+        x = np.zeros(LDO_DEMO_DIM)
+        value = float(objective.evaluate(x[None, :])[0])
+        raw = LDODemo(x).load_regulation()
+        assert value == pytest.approx(
+            float(spec.to_minimization(np.array([raw]))[0])
+        )
+
+    def test_ldo_unknown_measure_rejected(self):
+        from repro.circuits.mna import ldo_demo_objective
+
+        with pytest.raises(KeyError, match="no measure"):
+            ldo_demo_objective("gain_margin")
+
+    def test_uvlo_objective(self):
+        from repro.circuits.mna import uvlo_demo_objective
+
+        objective = uvlo_demo_objective()
+        assert objective.dim == UVLO_DEMO_DIM
+        value = float(
+            objective.evaluate(np.zeros(UVLO_DEMO_DIM)[None, :])[0]
+        )
+        assert np.isfinite(value) and value >= 0.0

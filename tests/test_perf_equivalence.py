@@ -11,10 +11,15 @@ change numbers.
 import numpy as np
 import pytest
 
-from repro.acquisition.functions import WeightedAcquisition, pbo_weights
+from repro.acquisition.functions import (
+    MultiWeightAcquisition,
+    WeightedAcquisition,
+    pbo_weights,
+)
 from repro.bo.batch import BatchBO
 from repro.bo.engine import RunSpec
 from repro.bo.propose import propose_batch
+from repro.circuits.behavioral.uvlo import UVLOTestbench
 from repro.gp import GaussianProcess
 from repro.gp.evaluator import MarginalLikelihoodEvaluator
 from repro.kernels import (
@@ -23,7 +28,14 @@ from repro.kernels import (
     RationalQuadratic,
     SquaredExponential,
 )
-from repro.runtime import FunctionObjective
+from repro.optim import Cobyla
+from repro.runtime import (
+    BrokerConfig,
+    EvaluationBroker,
+    FaultInjectingObjective,
+    FaultPlan,
+    FunctionObjective,
+)
 
 
 def _dataset(n, d, seed=0):
@@ -203,3 +215,266 @@ class TestParallelEquivalence:
             )
         np.testing.assert_array_equal(runs[0].X, runs[1].X)
         np.testing.assert_array_equal(runs[0].y, runs[1].y)
+
+
+class TestGemmAcquisitionEquivalence:
+    """The one-GEMM multi-weight scoring vs per-weight Eq. 9 evaluation."""
+
+    def _fitted(self, n_weights=5):
+        X, y = _dataset(30, 4, seed=3)
+        gp = GaussianProcess(
+            Matern52(dim=4, ard=True), noise_variance=1e-4
+        ).fit(X, y)
+        return gp, pbo_weights(n_weights)
+
+    def test_evaluate_all_matches_per_weight_loop(self):
+        gp, weights = self._fitted()
+        multi = MultiWeightAcquisition(gp, weights)
+        Z = _dataset(25, 4, seed=7)[0]
+        batched = multi.evaluate_all(Z)
+        assert batched.shape == (weights.size, 25)
+        for i, w in enumerate(weights):
+            row = WeightedAcquisition(gp, weight=float(w)).evaluate(Z)
+            np.testing.assert_allclose(batched[i], row, atol=1e-8)
+
+    def test_evaluate_segments_matches_per_weight(self):
+        gp, weights = self._fitted()
+        multi = MultiWeightAcquisition(gp, weights)
+        segments = [(0, 4), (2, 1), (4, 6), (2, 3)]
+        union = _dataset(sum(m for _, m in segments), 4, seed=11)[0]
+        sliced = multi.evaluate_segments(union, segments)
+        offset = 0
+        for (index, m), values in zip(segments, sliced):
+            block = union[offset : offset + m]
+            expected = WeightedAcquisition(
+                gp, weight=float(weights[index])
+            ).evaluate(block)
+            np.testing.assert_allclose(values, expected, atol=1e-8)
+            offset += m
+
+    def test_segment_lengths_validated(self):
+        gp, weights = self._fitted(3)
+        multi = MultiWeightAcquisition(gp, weights)
+        union = _dataset(5, 4, seed=0)[0]
+        with pytest.raises(ValueError, match="segment lengths"):
+            multi.evaluate_segments(union, [(0, 2), (1, 2)])
+
+    def test_weight_index_validated(self):
+        gp, weights = self._fitted(3)
+        multi = MultiWeightAcquisition(gp, weights)
+        union = _dataset(2, 4, seed=0)[0]
+        with pytest.raises(IndexError, match="weight index"):
+            multi.evaluate_segments(union, [(3, 2)])
+
+    def test_weights_validated(self):
+        gp, _ = self._fitted(2)
+        with pytest.raises(ValueError):
+            MultiWeightAcquisition(gp, [])
+        with pytest.raises(ValueError):
+            MultiWeightAcquisition(gp, [0.2, 1.5])
+
+
+class TestCobylaCoroutineEquivalence:
+    """``Cobyla.search`` driven by hand must replay ``minimize`` exactly."""
+
+    @staticmethod
+    def _fun(x):
+        x = np.asarray(x)
+        return float(np.sum((x - 0.3) ** 2) + 0.1 * np.sin(5.0 * x[0]))
+
+    def _drive(self, cobyla, lower, upper, x0):
+        engine = cobyla.search(lower, upper, x0=x0)
+        points = next(engine)
+        best_x, best_f, n_evaluations = None, np.inf, 0
+        while True:
+            values = np.array([self._fun(p) for p in points], dtype=float)
+            n_evaluations += values.shape[0]
+            j = int(np.argmin(values))
+            if float(values[j]) < best_f:
+                best_f = float(values[j])
+                best_x = points[j].copy()
+            try:
+                points = engine.send(values)
+            except StopIteration as stop:
+                return best_x, best_f, n_evaluations, stop.value
+
+    def test_search_driven_matches_minimize(self):
+        cobyla = Cobyla(max_evaluations=200)
+        lower, upper = -np.ones(3), np.ones(3)
+        x0 = np.array([0.4, -0.2, 0.1])
+        bounds = np.column_stack([lower, upper])
+        reference = cobyla.minimize(self._fun, bounds, x0=x0)
+        best_x, best_f, n_evals, outcome = self._drive(
+            cobyla, lower, upper, x0
+        )
+        np.testing.assert_array_equal(best_x, reference.x)
+        assert best_f == reference.fun
+        assert n_evals == reference.n_evaluations
+        assert outcome.success == reference.success
+        assert outcome.message == reference.message
+
+    def test_budget_below_simplex_falls_back_to_x0(self):
+        cobyla = Cobyla(max_evaluations=2)
+        lower, upper = -np.ones(3), np.ones(3)
+        x0 = np.array([0.1, 0.2, -0.3])
+        best_x, _, n_evals, outcome = self._drive(cobyla, lower, upper, x0)
+        np.testing.assert_array_equal(best_x, x0)
+        assert n_evals == 1
+        assert not outcome.success
+        assert "budget below simplex" in outcome.message
+
+
+class TestLockstepProposalEquivalence:
+    """Lockstep proposals must match the independent per-weight searches."""
+
+    def _setup(self):
+        X, y = _dataset(25, 3, seed=10)
+        gp = GaussianProcess(
+            Matern52(dim=3, lengthscale=1.5), noise_variance=1e-4
+        ).fit(X, y)
+        box = np.column_stack([-np.ones(3), np.ones(3)])
+        return gp, pbo_weights(4), box
+
+    def test_lockstep_matches_independent_fallback(self, monkeypatch):
+        import repro.bo.propose as propose_mod
+
+        gp, weights, box = self._setup()
+        lockstep = propose_batch(gp, weights, box)
+        monkeypatch.setattr(propose_mod, "supports_lockstep", lambda s: False)
+        fallback = propose_batch(gp, weights, box)
+        np.testing.assert_allclose(fallback.X, lockstep.X, atol=1e-8)
+        assert fallback.n_evaluations == lockstep.n_evaluations
+
+    def test_local_lockstep_matches_refine_fallback(self, monkeypatch):
+        import repro.bo.propose as propose_mod
+
+        gp, weights, box = self._setup()
+        lockstep = propose_batch(gp, weights, box)
+        monkeypatch.setattr(
+            propose_mod, "supports_local_lockstep", lambda s: False
+        )
+        fallback = propose_batch(gp, weights, box)
+        np.testing.assert_allclose(fallback.X, lockstep.X, atol=1e-8)
+        assert fallback.n_evaluations == lockstep.n_evaluations
+
+
+class TestDispatchEquivalence:
+    """Chunked vectorized broker dispatch vs the historical row path."""
+
+    def _objective(self):
+        return UVLOTestbench().objective("delta_vthl")
+
+    def _points(self, n=40, seed=4):
+        obj = self._objective()
+        rng = np.random.default_rng(seed)
+        return rng.uniform(-1.0, 1.0, (n, obj.dim))
+
+    def test_chunk_matches_row_bitwise(self):
+        X = self._points()
+        row = EvaluationBroker(
+            self._objective(), BrokerConfig(dispatch="row")
+        ).evaluate_batch(X)
+        chunk = EvaluationBroker(
+            self._objective(), BrokerConfig(dispatch="chunk")
+        ).evaluate_batch(X)
+        np.testing.assert_array_equal(row.y, chunk.y)
+        np.testing.assert_array_equal(row.X, chunk.X)
+
+    def test_chunk_size_invariant(self):
+        X = self._points(n=23, seed=8)
+        reference = EvaluationBroker(
+            self._objective(), BrokerConfig(dispatch="row")
+        ).evaluate_batch(X)
+        for chunk_size in (1, 5, 23, 64):
+            broker = EvaluationBroker(
+                self._objective(),
+                BrokerConfig(dispatch="chunk", chunk_size=chunk_size),
+            )
+            np.testing.assert_array_equal(
+                broker.evaluate_batch(X).y, reference.y
+            )
+
+    def test_auto_dispatch_selection(self):
+        vectorized = self._objective()
+        assert vectorized.prefers_batch
+        scalar = FunctionObjective(lambda x: float(np.sum(x**2)), dim=2)
+        assert BrokerConfig().resolve_dispatch(vectorized) == "chunk"
+        assert BrokerConfig().resolve_dispatch(scalar) == "row"
+        assert (
+            BrokerConfig(timeout_seconds=5.0).resolve_dispatch(vectorized)
+            == "row"
+        )
+        assert BrokerConfig(dispatch="row").resolve_dispatch(vectorized) == "row"
+
+    def test_chunk_timeout_combination_rejected(self):
+        with pytest.raises(ValueError, match="timeout"):
+            BrokerConfig(dispatch="chunk", timeout_seconds=1.0)
+
+    def test_chunk_with_fault_injection_matches_clean(self):
+        X = self._points(n=30, seed=5)
+        clean = EvaluationBroker(
+            self._objective(), BrokerConfig(dispatch="row")
+        ).evaluate_batch(X)
+        faulty = FaultInjectingObjective(
+            self._objective(),
+            FaultPlan(failure_rate=0.3, nan_fraction=0.4, seed=5),
+        )
+        broker = EvaluationBroker(
+            faulty,
+            BrokerConfig(
+                dispatch="chunk", max_retries=5, backoff_seconds=0.0
+            ),
+        )
+        batch = broker.evaluate_batch(X)
+        assert broker.stats.n_attempt_failures > 0  # faults did fire
+        np.testing.assert_array_equal(batch.y, clean.y)
+
+    def test_chunk_skip_policy_drops_only_bad_rows(self):
+        def half_nan(x):
+            return float("nan") if x[0] > 0 else float(np.sum(x**2))
+
+        objective = FunctionObjective(half_nan, dim=2)
+        X = np.array([[-0.5, 0.1], [0.5, 0.2], [-0.25, 0.3], [0.75, 0.4]])
+        broker = EvaluationBroker(
+            objective,
+            BrokerConfig(
+                dispatch="chunk",
+                max_retries=0,
+                failure_policy="skip",
+            ),
+        )
+        batch = broker.evaluate_batch(X)
+        np.testing.assert_array_equal(batch.index, [0, 2])
+        np.testing.assert_array_equal(batch.X, X[[0, 2]])
+
+    def test_campaign_chunk_vs_row_identical(self):
+        from repro.bo.rembo import RemboBO
+        from repro.runtime import RuntimePolicy
+
+        results = []
+        for dispatch in ("row", "chunk"):
+            tb = UVLOTestbench()
+            engine = RemboBO(
+                batch_size=3,
+                embedding_dim=2,
+                tune_every=1,
+                n_restarts=1,
+                seed=11,
+            )
+            results.append(
+                engine.solve(
+                    objective=tb.objective("delta_vthl"),
+                    spec=RunSpec(
+                        bounds=tb.bounds(),
+                        n_init=5,
+                        n_batches=2,
+                        threshold=tb.threshold("delta_vthl"),
+                    ),
+                    policy=RuntimePolicy(
+                        config=BrokerConfig(dispatch=dispatch)
+                    ),
+                )
+            )
+        row, chunk = results
+        np.testing.assert_array_equal(row.X, chunk.X)
+        np.testing.assert_array_equal(row.y, chunk.y)

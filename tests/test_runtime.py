@@ -27,6 +27,7 @@ from repro.runtime import (
     RunLedger,
     RuntimePolicy,
     TransientSimulationError,
+    batch_digests,
     point_digest,
     read_ledger,
     require_objective,
@@ -154,6 +155,29 @@ class TestResultCache:
     def test_rejects_negative_decimals(self):
         with pytest.raises(ValueError):
             ResultCache(decimals=-1)
+
+    def test_batch_digests_match_point_digest(self):
+        rng = np.random.default_rng(7)
+        X = rng.uniform(-1.0, 1.0, (17, 3))
+        X[0] = [0.0, -0.0, 0.5]  # the -0.0 fold must survive batching
+        X[1] = X[2] + 1e-14  # below rounding resolution: same digest
+        digests = batch_digests("k", X)
+        assert digests == [point_digest("k", x) for x in X]
+        assert digests[1] == digests[2]
+
+    def test_keys_for_batch_respects_decimals(self):
+        cache = ResultCache(decimals=4)
+        X = np.array([[0.123456, -0.5]])
+        assert cache.keys_for_batch("k", X) == [cache.key_for("k", X[0])]
+        assert cache.keys_for_batch("k", X) != batch_digests("k", X)
+
+    def test_get_many_counts_like_sequential_gets(self):
+        cache = ResultCache()
+        X = np.array([[1.0], [2.0], [3.0]])
+        digests = cache.keys_for_batch("k", X)
+        cache.put(digests[1], 4.5)
+        assert cache.get_many(digests) == [None, 4.5, None]
+        assert cache.stats == {"size": 1, "hits": 1, "misses": 2}
 
 
 class TestRunLedger:

@@ -54,10 +54,10 @@ class TestMonteCarloSampler:
         b = MonteCarloSampler(50, seed=3).solve(objective=bowl_objective(2))
         np.testing.assert_array_equal(a.X, b.X)
 
-    def test_deprecated_run_wrapper(self):
-        with pytest.warns(DeprecationWarning, match="solve"):
-            result = MonteCarloSampler(10, seed=0).run(bowl_objective(2))
-        assert result.n_evaluations == 10
+    def test_run_wrapper_removed(self):
+        # the deprecated positional run() entry point is gone; solve()
+        # and the Campaign facade are the only ways in
+        assert not hasattr(MonteCarloSampler(10, seed=0), "run")
 
     def test_rejects_zero_budget(self):
         with pytest.raises(ValueError):
@@ -149,12 +149,8 @@ class TestScaledSigmaSampler:
         )
         assert "sss_fit" not in result.extra
 
-    def test_deprecated_run_wrapper(self):
-        with pytest.warns(DeprecationWarning, match="solve"):
-            result = ScaledSigmaSampler(10, scales=(1.0,), seed=0).run(
-                bowl_objective(2)
-            )
-        assert result.n_evaluations == 10
+    def test_run_wrapper_removed(self):
+        assert not hasattr(ScaledSigmaSampler(10, scales=(1.0,), seed=0), "run")
 
     def test_validation(self):
         with pytest.raises(ValueError):
@@ -209,12 +205,11 @@ class TestStatisticalBlockade:
             unblocked_mean = result.y[200:].mean()
             assert unblocked_mean < pilot_mean
 
-    def test_deprecated_run_wrapper(self):
-        with pytest.warns(DeprecationWarning, match="solve"):
-            result = StatisticalBlockade(
-                pilot_samples=20, candidate_samples=50, seed=0
-            ).run(bowl_objective(2))
-        assert result.n_evaluations >= 20
+    def test_run_wrapper_removed(self):
+        blockade = StatisticalBlockade(
+            pilot_samples=20, candidate_samples=50, seed=0
+        )
+        assert not hasattr(blockade, "run")
 
     def test_validation(self):
         with pytest.raises(ValueError):

@@ -88,6 +88,27 @@ class TestTracer:
         tracer.close()
         assert tracer.finished[0]["attrs"] == {"fevals": 15, "clipped": 0.25}
 
+    def test_annotate_accumulates_on_innermost_open_span(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("campaign"):
+            with tracer.span("iteration"):
+                tracer.annotate("cache_hits", 3)
+                tracer.annotate("cache_hits", 2)
+                tracer.annotate("cache_misses", 4)
+        tracer.close()
+        iteration = next(
+            s for s in tracer.finished if s["name"] == "iteration"
+        )
+        campaign = next(s for s in tracer.finished if s["name"] == "campaign")
+        assert iteration["attrs"] == {"cache_hits": 5, "cache_misses": 4}
+        assert campaign["attrs"] == {}
+
+    def test_annotate_without_open_span_is_noop(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.annotate("cache_hits", 1)  # nothing open: silently dropped
+        tracer.close()
+        assert tracer.finished == []
+
     def test_close_with_open_span_raises(self):
         tracer = Tracer(clock=FakeClock())
         span = tracer.span("campaign")
@@ -392,6 +413,29 @@ class TestReport:
         text = render_report(trace)
         for phase in ("campaign", "iteration", "gp_fit", "acq_opt", "evaluate"):
             assert phase in text
+
+    def test_cache_hit_rate_columns(self, tmp_path):
+        path = tmp_path / "hits.trace.jsonl"
+        tracer = Tracer(path, clock=FakeClock())
+        with tracer.span("campaign"):
+            with tracer.span("iteration", index=0):
+                tracer.annotate("cache_hits", 3)
+                tracer.annotate("cache_misses", 1)
+            with tracer.span("iteration", index=1):
+                tracer.annotate("cache_hits", 1)
+                tracer.annotate("cache_misses", 3)
+        tracer.close()
+        rows = {
+            row.name: row for row in phase_breakdown(read_trace(path))
+        }
+        assert rows["iteration"].cache_hits == 4
+        assert rows["iteration"].cache_misses == 4
+        assert rows["iteration"].cache_rate == pytest.approx(0.5)
+        # phases without cache annotations stay untracked, not 0%
+        assert rows["campaign"].cache_rate is None
+        text = render_report(read_trace(path))
+        assert "hit rate" in text
+        assert "50.0%" in text
 
     def test_cli_main(self, tmp_path, capsys):
         path = self._trace_file(tmp_path)

@@ -33,7 +33,11 @@ _ARRAY_MARKERS = ("FloatArray", "IntArray", "ndarray", "ArrayLike")
 #: Path fragments whose modules are contracted unconditionally: new
 #: subsystems held to the contract discipline from their first commit,
 #: whether or not they happen to import the decorator yet.
-ROLLOUT_OPT_IN_FRAGMENTS = ("repro/runtime/", "repro/telemetry/")
+ROLLOUT_OPT_IN_FRAGMENTS = (
+    "repro/runtime/",
+    "repro/telemetry/",
+    "repro/backends",
+)
 
 
 def module_is_contracted(ctx: FileContext) -> bool:
