@@ -30,6 +30,23 @@ under transient fault injection produces exactly the ``X``/``y`` of the
 fault-free run, and a cache hit returns the exact float the simulation
 produced.  The backoff jitter draws from a broker-private seeded stream
 that never touches engine RNG state.
+
+Thread-sharing contract (DESIGN.md §13): the callables the broker submits
+to its pool (``self._simulate`` / ``self._simulate_chunk``) touch only
+locals and their arguments — *all* shared-state mutation (cache puts,
+ledger appends, metric increments, ``stats`` bookkeeping) happens on the
+dispatching thread after the pool joins the batch.  The shared collaborators
+(:class:`~repro.runtime.cache.ResultCache`,
+:class:`~repro.runtime.ledger.RunLedger`,
+:class:`~repro.telemetry.metrics.MetricsRegistry`,
+:class:`~repro.telemetry.trace.Tracer`) are each ``@thread_shared`` and
+internally locked, so the broker itself is also safe to *call* from
+multiple campaign threads (ROADMAP item 1) as long as each thread uses its
+own broker instance over the shared cache/ledger/telemetry — broker
+``stats`` are per-instance and unsynchronized by design.  The NL6xx lint
+family (``tools/numlint/passes/concurrency.py``) checks the submitted
+callables statically; the ``REPRO_SANITIZE=1`` race sanitizer checks the
+shared objects at runtime.
 """
 
 from __future__ import annotations

@@ -27,7 +27,8 @@ from typing import Mapping
 import numpy as np
 
 from repro._typing import ArrayLike
-from repro.utils.contracts import shape_contract
+from repro.utils.contracts import shape_contract, thread_shared
+from repro.utils.sanitize_concurrency import make_lock
 
 #: Default rounding applied to points before hashing (see module docstring).
 DEFAULT_DECIMALS = 12
@@ -65,17 +66,30 @@ def batch_digests(
     ]
 
 
+@thread_shared
 class ResultCache:
-    """Thread-safe digest → objective-value store with hit/miss counters."""
+    """Thread-safe digest → objective-value store with hit/miss counters.
+
+    One lock guards the store *and* the hit/miss counters, so ``get`` can
+    count and look up atomically.  Both construction and unpickling obtain
+    the lock from the same factory (:meth:`_new_lock`) — there is exactly
+    one place that decides which lock class an instance carries, so a
+    pickled-and-restored cache is guarded identically to a fresh one.
+    """
 
     def __init__(self, decimals: int = DEFAULT_DECIMALS) -> None:
+        self._lock = self._new_lock()
         if decimals < 0:
             raise ValueError(f"decimals must be non-negative, got {decimals}")
         self.decimals = int(decimals)
         self._store: dict[str, float] = {}
-        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+
+    @staticmethod
+    def _new_lock() -> "threading.RLock":  # type: ignore[valid-type]
+        """The single source of the cache's lock (init and unpickle)."""
+        return make_lock("runtime.ResultCache")
 
     def key_for(self, cache_key: str, x: ArrayLike) -> str:
         """The digest this cache would use for ``(cache_key, x)``."""
@@ -122,14 +136,21 @@ class ResultCache:
                 self._store[digest] = float(value)
 
     def __len__(self) -> int:
-        return len(self._store)
+        with self._lock:
+            return len(self._store)
 
     def __contains__(self, digest: str) -> bool:
-        return digest in self._store
+        with self._lock:
+            return digest in self._store
 
     @property
     def stats(self) -> dict[str, int]:
-        return {"size": len(self._store), "hits": self.hits, "misses": self.misses}
+        with self._lock:
+            return {
+                "size": len(self._store),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
 
     # -- pickling (locks are not picklable) ---------------------------------
 
@@ -140,7 +161,7 @@ class ResultCache:
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
-        self._lock = threading.Lock()
+        self._lock = self._new_lock()
 
 
 __all__ = ["DEFAULT_DECIMALS", "ResultCache", "batch_digests", "point_digest"]

@@ -43,35 +43,48 @@ from typing import IO, Any, Iterable
 import numpy as np
 
 from repro._typing import FloatArray
+from repro.utils.contracts import thread_shared
+from repro.utils.sanitize_concurrency import make_lock
 
 #: Schema version stamped on campaign events.
 LEDGER_VERSION = 1
 
 
+@thread_shared
 class RunLedger:
     """Append-only JSONL writer; one flushed line per event.
 
     The file handle opens lazily on first append (so a ledger object can be
     constructed, pickled into worker tasks, and only materialize the file
     where events actually happen) and is excluded from pickling.
+
+    Appends are thread-safe: the lazy open, the line write and the flush
+    run under one lock, so concurrent campaign threads (ROADMAP item 1)
+    can share a ledger without ever interleaving bytes of two JSON lines.
+    Serialization of the event happens *outside* the lock — the only
+    serialized section is the file append itself.
     """
 
     def __init__(self, path: str | Path) -> None:
+        self._lock = make_lock("runtime.RunLedger")
         self.path = Path(path)
         self._fh: IO[str] | None = None
 
     def append(self, event: dict[str, Any]) -> None:
         """Write one event line and flush it to disk."""
-        if self._fh is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._fh = self.path.open("a", encoding="utf-8")
-        self._fh.write(json.dumps(event, separators=(",", ":")) + "\n")
-        self._fh.flush()
+        line = json.dumps(event, separators=(",", ":")) + "\n"
+        with self._lock:
+            if self._fh is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._fh = self.path.open("a", encoding="utf-8")
+            self._fh.write(line)
+            self._fh.flush()
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
 
     def __enter__(self) -> "RunLedger":
         return self
@@ -79,10 +92,17 @@ class RunLedger:
     def __exit__(self, *exc: object) -> None:
         self.close()
 
+    # -- pickling (locks and file handles are not picklable) -----------------
+
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
         state["_fh"] = None
+        del state["_lock"]
         return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = make_lock("runtime.RunLedger")
 
 
 @dataclass

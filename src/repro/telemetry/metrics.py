@@ -10,8 +10,14 @@ of the same seeded campaign produce byte-identical snapshots.
 Instruments are created on first use (``registry.counter("x").inc()``)
 and cheap enough to sit on warm paths; the telemetry-off path uses the
 :data:`NULL_METRICS` singleton whose instruments are shared no-ops.
-All mutation happens on the dispatching thread (the broker aggregates
-worker results before counting), so no locking is needed.
+The registry and every instrument are ``@thread_shared``: a fleet of
+campaign threads over a shared broker (ROADMAP item 1) counts into one
+registry, so get-or-create races and increments are serialized under
+fine-grained per-object locks — an uncontended RLock acquire per ``inc``,
+which is noise next to the simulations being counted.  Snapshots taken
+while writers are still running are internally consistent per instrument;
+exact totals require the writers to have joined, which is what the
+threaded stress suite pins.
 """
 
 from __future__ import annotations
@@ -19,42 +25,55 @@ from __future__ import annotations
 import math
 from typing import Any
 
+from repro.utils.contracts import thread_shared
+from repro.utils.sanitize_concurrency import make_lock
 
+
+@thread_shared
 class Counter:
-    """A monotonically increasing integer count."""
+    """A monotonically increasing integer count; ``inc`` is thread-safe."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
+        self._lock = make_lock("metrics.Counter")
         self.value = 0
 
     def inc(self, n: int = 1) -> None:
-        self.value += int(n)
+        with self._lock:
+            self.value += int(n)
 
 
+@thread_shared
 class Gauge:
-    """A last-write-wins scalar."""
+    """A last-write-wins scalar; ``set`` is thread-safe."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
+        self._lock = make_lock("metrics.Gauge")
         self.value = 0.0
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
 
+@thread_shared
 class Histogram:
     """Streaming summary of observed values: count/total/min/max.
 
     Deliberately bucket-free — the campaigns this instruments produce
     hundreds of observations, and the report renders mean/extremes, not
-    quantiles.
+    quantiles.  ``observe`` is thread-safe: the four fields move together
+    under the instrument lock, so a snapshot never sees a count without
+    its total.
     """
 
-    __slots__ = ("count", "total", "min", "max")
+    __slots__ = ("count", "total", "min", "max", "_lock")
 
     def __init__(self) -> None:
+        self._lock = make_lock("metrics.Histogram")
         self.count = 0
         self.total = 0.0
         self.min = math.inf
@@ -62,12 +81,13 @@ class Histogram:
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.total += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
 
     @property
     def mean(self) -> float:
@@ -110,10 +130,17 @@ _NULL_GAUGE = NullGauge()
 _NULL_HISTOGRAM = NullHistogram()
 
 
+@thread_shared
 class MetricsRegistry:
-    """Named instruments, created on first use."""
+    """Named instruments, created on first use.
+
+    Get-or-create runs under the registry lock so two threads asking for
+    the same name always receive the same instrument — the losing thread
+    of an unsynchronized race would otherwise count into an orphan.
+    """
 
     def __init__(self) -> None:
+        self._lock = make_lock("metrics.MetricsRegistry")
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
@@ -121,37 +148,42 @@ class MetricsRegistry:
     enabled = True
 
     def counter(self, name: str) -> Counter:
-        inst = self._counters.get(name)
-        if inst is None:
-            inst = self._counters[name] = Counter()
-        return inst
+        with self._lock:
+            inst = self._counters.get(name)
+            if inst is None:
+                inst = self._counters[name] = Counter()
+            return inst
 
     def gauge(self, name: str) -> Gauge:
-        inst = self._gauges.get(name)
-        if inst is None:
-            inst = self._gauges[name] = Gauge()
-        return inst
+        with self._lock:
+            inst = self._gauges.get(name)
+            if inst is None:
+                inst = self._gauges[name] = Gauge()
+            return inst
 
     def histogram(self, name: str) -> Histogram:
-        inst = self._histograms.get(name)
-        if inst is None:
-            inst = self._histograms[name] = Histogram()
-        return inst
+        with self._lock:
+            inst = self._histograms.get(name)
+            if inst is None:
+                inst = self._histograms[name] = Histogram()
+            return inst
 
     def snapshot(self) -> dict[str, Any]:
         """Deterministic plain-builtin view of every instrument.
 
         Keys are sorted; histogram extremes of empty histograms render as
-        ``None`` so the snapshot stays JSON-serializable.
+        ``None`` so the snapshot stays JSON-serializable.  The registry
+        lock pins the instrument set; per-instrument fields are read
+        without their locks (reads are atomic under the GIL and exactness
+        is only promised once writers have joined).
         """
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
         return {
-            "counters": {
-                name: self._counters[name].value
-                for name in sorted(self._counters)
-            },
-            "gauges": {
-                name: self._gauges[name].value for name in sorted(self._gauges)
-            },
+            "counters": {name: inst.value for name, inst in counters},
+            "gauges": {name: inst.value for name, inst in gauges},
             "histograms": {
                 name: {
                     "count": hist.count,
@@ -160,7 +192,7 @@ class MetricsRegistry:
                     "min": hist.min if hist.count else None,
                     "max": hist.max if hist.count else None,
                 }
-                for name, hist in sorted(self._histograms.items())
+                for name, hist in histograms
             },
         }
 

@@ -5,11 +5,16 @@ iteration > gp_fit / acq_opt / evaluate`` — with a monotonic duration
 (``time.perf_counter`` deltas, never wall clock: the NL401 invariant) and
 a dict of structured attributes (LML at convergence, acquisition fevals,
 clip-projection fraction, cache hit counts, ...).  Spans nest through an
-explicit stack owned by the :class:`Tracer`: the engine's control flow is
-single-threaded, so ``tracer.span(...)`` context managers express the
-hierarchy directly, while work measured elsewhere (the broker times each
-simulation inside its worker pool) enters after the fact through
-:meth:`Tracer.record_span` and is parented to whatever span is open.
+explicit *per-thread* stack owned by the :class:`Tracer` (a
+``threading.local``): each campaign/worker thread sees its own nesting, so
+``tracer.span(...)`` context managers express the hierarchy directly even
+when several campaign threads share one tracer, while work measured
+elsewhere (the broker times each simulation inside its worker pool) enters
+after the fact through :meth:`Tracer.record_span` and is parented to
+whatever span the *calling* thread has open.  Id assignment and line
+emission are serialized under the tracer lock, so concurrent spans get
+unique ids and whole JSONL lines; the tracer is ``@thread_shared``
+(DESIGN.md §13).
 
 The trace file is one JSON object per line, flushed per line like the
 :class:`~repro.runtime.ledger.RunLedger` so a killed campaign leaves a
@@ -40,10 +45,14 @@ budget (same pattern as the PR 3 sanitizer).
 from __future__ import annotations
 
 import json
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO, Any, Callable, Iterator
+
+from repro.utils.contracts import thread_shared
+from repro.utils.sanitize_concurrency import make_lock
 
 #: Schema version stamped on the trace header line.
 TRACE_VERSION = 1
@@ -160,8 +169,23 @@ NULL_SPAN = NullSpan()
 NULL_TRACER = NullTracer()
 
 
+class _ThreadSpans(threading.local):
+    """Per-thread open-span state: ids for parenting, handles for annotate."""
+
+    def __init__(self) -> None:
+        self.ids: list[int] = []
+        self.handles: list[SpanHandle] = []
+
+
+@thread_shared
 class Tracer:
     """Emits nested spans as JSONL; see the module docstring for schema.
+
+    Thread model: span *nesting* is per thread (``self._tls`` holds each
+    thread's open-span stack, so worker spans nest correctly under that
+    worker's own spans and never under a sibling thread's), while id
+    assignment and line emission are serialized under ``self._lock`` so
+    ids stay unique and JSONL lines whole.
 
     Parameters
     ----------
@@ -180,13 +204,14 @@ class Tracer:
         path: str | Path | None = None,
         clock: Callable[[], float] = time.perf_counter,
     ) -> None:
+        self._lock = make_lock("telemetry.Tracer")
         self.path = Path(path) if path is not None else None
         self._clock = clock
         self._epoch = clock()
         self._fh: IO[str] | None = None
         self._next_id = 1
-        self._stack: list[int] = []
-        self._open_handles: list[SpanHandle] = []
+        self._tls = _ThreadSpans()
+        self._n_open = 0
         #: Every emitted span line, in emission order (kept even when
         #: writing to a file, so reconciliation never re-reads the disk).
         self.finished: list[dict[str, Any]] = []
@@ -195,28 +220,35 @@ class Tracer:
 
     @property
     def current_id(self) -> int | None:
-        """Id of the innermost open span (parent for new spans)."""
-        return self._stack[-1] if self._stack else None
+        """Id of the calling thread's innermost open span (parent for new)."""
+        ids = self._tls.ids
+        return ids[-1] if ids else None
 
     def span(self, name: str, **attrs: Any) -> SpanHandle:
         """Open a nested span as a context manager."""
-        handle = SpanHandle(self, name, self._next_id, self.current_id, attrs)
-        self._next_id += 1
-        return handle
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return SpanHandle(self, name, span_id, self.current_id, attrs)
 
     def _open(self, handle: SpanHandle) -> float:
-        self._stack.append(handle.span_id)
-        self._open_handles.append(handle)
+        self._tls.ids.append(handle.span_id)
+        self._tls.handles.append(handle)
+        with self._lock:
+            self._n_open += 1
         return self._clock() - self._epoch
 
     def _close(self, handle: SpanHandle, t0: float) -> None:
-        if not self._stack or self._stack[-1] != handle.span_id:
+        ids = self._tls.ids
+        if not ids or ids[-1] != handle.span_id:
             raise TraceSchemaError(
                 f"span {handle.name!r} closed out of order (open stack "
-                f"{self._stack})"
+                f"{ids})"
             )
-        self._stack.pop()
-        self._open_handles.pop()
+        ids.pop()
+        self._tls.handles.pop()
+        with self._lock:
+            self._n_open -= 1
         self._emit(
             handle.name,
             handle.span_id,
@@ -240,8 +272,9 @@ class Tracer:
         as ``now - seconds``.
         """
         now = self._clock() - self._epoch
-        span_id = self._next_id
-        self._next_id += 1
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
         t0 = max(0.0, now - float(seconds))
         self._emit(name, span_id, self.current_id, t0, float(seconds), attrs or {})
 
@@ -251,11 +284,14 @@ class Tracer:
         Lets code that does not own a span handle (the broker annotating
         the engine's enclosing ``iteration``/``init_design`` span with
         cache-hit counts) attach attributes without threading handles
-        through every call site.  No open span means nothing to annotate —
-        the call is a silent no-op, mirroring :class:`NullTracer`.
+        through every call site.  The innermost span is the *calling
+        thread's* — a worker never annotates a sibling thread's span.  No
+        open span means nothing to annotate — the call is a silent no-op,
+        mirroring :class:`NullTracer`.
         """
-        if self._open_handles:
-            self._open_handles[-1].add(key, value)
+        handles = self._tls.handles
+        if handles:
+            handles[-1].add(key, value)
 
     # -- emission ------------------------------------------------------------
 
@@ -277,24 +313,29 @@ class Tracer:
             "dt": dt,
             "attrs": attrs,
         }
-        self.finished.append(line)
-        if self.path is not None:
-            if self._fh is None:
-                self.path.parent.mkdir(parents=True, exist_ok=True)
-                self._fh = self.path.open("a", encoding="utf-8")
-                header = {"kind": "trace", "version": TRACE_VERSION}
-                self._fh.write(json.dumps(header, separators=(",", ":")) + "\n")
-            self._fh.write(json.dumps(line, separators=(",", ":")) + "\n")
-            self._fh.flush()
+        text = json.dumps(line, separators=(",", ":")) + "\n"
+        with self._lock:
+            self.finished.append(line)
+            if self.path is not None:
+                if self._fh is None:
+                    self.path.parent.mkdir(parents=True, exist_ok=True)
+                    self._fh = self.path.open("a", encoding="utf-8")
+                    header = {"kind": "trace", "version": TRACE_VERSION}
+                    self._fh.write(
+                        json.dumps(header, separators=(",", ":")) + "\n"
+                    )
+                self._fh.write(text)
+                self._fh.flush()
 
     def close(self) -> None:
-        if self._stack:
-            raise TraceSchemaError(
-                f"tracer closed with {len(self._stack)} span(s) still open"
-            )
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        with self._lock:
+            if self._n_open:
+                raise TraceSchemaError(
+                    f"tracer closed with {self._n_open} span(s) still open"
+                )
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
 
     def __enter__(self) -> "Tracer":
         return self

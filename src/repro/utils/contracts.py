@@ -461,6 +461,38 @@ def apply_contract(
     return wrapper  # type: ignore[return-value]
 
 
+T = TypeVar("T")
+
+
+def thread_shared(cls: type[T]) -> type[T]:
+    """Mark a class whose instances are mutated from multiple threads.
+
+    The marker declares a contract, not a mechanism: every mutation of
+    instance state outside construction (``__init__`` / ``__setstate__``)
+    must hold the instance's ``_lock`` (an :class:`threading.RLock` built
+    with :func:`repro.utils.sanitize_concurrency.make_lock`) in a literal
+    ``with self._lock:`` block.  The contract is checked twice, mirroring
+    :func:`shape_contract`:
+
+    * statically by the numlint NL603 pass (attribute mutation outside a
+      ``with self._lock:`` block; per-thread state under a ``self._tls``
+      :class:`threading.local` is exempt), and
+    * at runtime, when ``REPRO_SANITIZE=1``, by the concurrency
+      sanitizer's ownership tripwires
+      (:func:`repro.utils.sanitize_concurrency.instrument_thread_shared`),
+      which raise on unsynchronized cross-thread writes.
+
+    Identity-when-off: without the sanitizer this sets one class attribute
+    and returns the class unchanged — no wrapping, no per-call cost.
+    """
+    cls.__thread_shared__ = True  # type: ignore[attr-defined]
+    if _ENABLED:
+        from repro.utils.sanitize_concurrency import instrument_thread_shared
+
+        instrument_thread_shared(cls)
+    return cls
+
+
 def shape_contract(
     spec: str,
     *,
@@ -508,4 +540,5 @@ __all__ = [
     "parse_contract",
     "sanitize_enabled",
     "shape_contract",
+    "thread_shared",
 ]

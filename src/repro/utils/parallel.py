@@ -44,15 +44,28 @@ def parallel_map(
     workers = min(resolve_n_jobs(n_jobs), len(task_list))
     if workers <= 1 or len(task_list) <= 1:
         return [fn(task) for task in task_list]
-    methods = multiprocessing.get_all_start_methods()
-    ctx = multiprocessing.get_context(
-        "fork" if "fork" in methods else methods[0]
-    )
-    with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+    with ProcessPoolExecutor(
+        max_workers=workers, mp_context=_fork_context()
+    ) as pool:
         return list(pool.map(fn, task_list))
 
 
 def _fork_context() -> multiprocessing.context.BaseContext:
+    """The start-method context every process pool in this module uses.
+
+    ``fork`` is preferred when the platform offers it: workers inherit the
+    parent's imported modules and read-only task state by page-sharing
+    instead of re-importing and re-pickling per worker, which for the
+    numpy-heavy task payloads here is both markedly faster to start and
+    immune to "module not importable under spawn" surprises.  The known
+    fork hazards are pre-empted elsewhere: tasks never draw from inherited
+    RNG state (per-task generators are spawned up front —
+    ``repro.utils.rng.spawn``, enforced by NL602) and never share locks
+    with the parent (worker callables touch only locals/arguments,
+    enforced by NL601).  Platforms without ``fork`` (Windows, macOS
+    spawn-default builds) fall back to the platform's first advertised
+    start method.
+    """
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context(
         "fork" if "fork" in methods else methods[0]

@@ -1,0 +1,86 @@
+"""Deliberately racy snippets: every NL6xx code fires in this file."""
+
+import subprocess
+import threading
+
+from numpy.random import default_rng
+
+from repro.utils.contracts import thread_shared
+from repro.utils.parallel import WorkerPool, parallel_map
+
+RESULTS = []
+RNG = default_rng(0)
+COUNTER = 0
+
+
+def bad_task(x):
+    RESULTS.append(x)  # NL601: mutating a module-level list in a worker
+    global COUNTER
+    COUNTER = COUNTER + 1  # NL601: global assignment in a worker
+    return RNG.normal() + x  # NL602: shared generator drawn in a worker
+
+
+def run(pool: WorkerPool, items):
+    return pool.run_tasks(bad_task, items)
+
+
+def run_map(items):
+    # NL601: the lambda mutates closure-escaped module state
+    return parallel_map(lambda x: RESULTS.append(x), items)
+
+
+class Dispatcher:
+    def __init__(self):
+        self._seen = []
+        self._rng = default_rng(1)
+
+    def _work(self, task):
+        self._seen.append(task)  # NL601: shared instance mutated in a worker
+        return self._rng.uniform()  # NL602: shared instance RNG in a worker
+
+    def run(self, pool, tasks):
+        return pool.run_tasks(self._work, tasks)
+
+
+@thread_shared
+class SharedThing:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self.count = 0
+        self.items = []
+
+    def bump(self):
+        self.count += 1  # NL603: unlocked write
+        self.items.append(1)  # NL603: unlocked mutating call
+
+    def locked_bump(self):
+        with self._lock:
+            self.count += 1
+
+
+def traced(tracer, path):
+    with tracer.span("save"):
+        fh = open(path, "w")  # NL604: open() inside a span body
+        fh.write("x")
+        fh.flush()  # NL604: flush inside a span body
+        subprocess.run(["sync"])  # NL604: subprocess inside a span body
+
+
+async def pump(path):
+    return open(path).read()  # NL604: blocking open() in an async def
+
+
+class TwoLocks:
+    def __init__(self):
+        self._a_lock = threading.Lock()
+        self._b_lock = threading.Lock()
+
+    def forward(self):
+        with self._a_lock:
+            with self._b_lock:
+                pass
+
+    def backward(self):
+        with self._b_lock:
+            with self._a_lock:  # NL605: opposite nesting order
+                pass

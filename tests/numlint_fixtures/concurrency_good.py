@@ -1,0 +1,81 @@
+"""Thread-clean counterparts: nothing here triggers an NL6xx code."""
+
+import threading
+
+from repro.utils.contracts import thread_shared
+from repro.utils.parallel import WorkerPool
+from repro.utils.rng import spawn
+
+
+def pure_task(task):
+    # workers may mutate locals and draw from generators they were handed
+    rng, x = task
+    acc = []
+    acc.append(x)
+    return rng.normal() + sum(acc)
+
+
+def run(pool: WorkerPool, rng, items):
+    streams = spawn(rng, len(items))  # per-task generators: NL602's remedy
+    results = pool.run_tasks(pure_task, list(zip(streams, items)))
+    return [r for r, _ in results]
+
+
+class Dispatcher:
+    def __init__(self):
+        self.collected = []
+
+    def _work(self, task):
+        value = task * 2.0
+        return value
+
+    def run(self, pool, tasks):
+        out = pool.run_tasks(self._work, tasks)
+        # shared-state mutation happens on the dispatching thread
+        self.collected.extend(r for r, _ in out)
+        return out
+
+
+@thread_shared
+class SharedThing:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self.count = 0
+        self._tls = threading.local()
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+
+    def peek(self):
+        return self.count
+
+    def push(self, span_id):
+        # threading.local chains are per-thread by construction
+        if getattr(self._tls, "stack", None) is None:
+            self._tls.stack = []
+        self._tls.stack.append(span_id)
+
+
+def traced(tracer, compute):
+    with tracer.span("compute"):
+        result = compute()
+    with open("out.txt", "w", encoding="utf-8") as fh:  # outside the span
+        fh.write(str(result))
+    return result
+
+
+class TwoLocks:
+    def __init__(self):
+        self._a_lock = threading.Lock()
+        self._b_lock = threading.Lock()
+
+    def first(self):
+        with self._a_lock:
+            with self._b_lock:
+                pass
+
+    def second(self):
+        with self._a_lock:  # same order everywhere: consistent
+            with self._b_lock:
+                pass

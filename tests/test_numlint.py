@@ -262,6 +262,57 @@ class TestContractRollout:
         assert run_passes_on_context(ctx, [get_pass("contract-rollout")]) == []
 
 
+class TestConcurrencySafety:
+    def test_fires_on_bad(self):
+        found = codes(lint_fixture("concurrency_bad.py", "concurrency-safety"))
+        assert found.count("NL601") == 4
+        assert found.count("NL602") == 2
+        assert found.count("NL603") == 2
+        assert found.count("NL604") == 4
+        assert found.count("NL605") == 1
+        assert len(found) == 13
+
+    def test_silent_on_good(self):
+        assert lint_fixture("concurrency_good.py", "concurrency-safety") == []
+
+    def test_nl604_exempt_in_tests(self):
+        found = codes(
+            lint_fixture(
+                "concurrency_bad.py", "concurrency-safety", relpath=TEST_PATH
+            )
+        )
+        # blocking I/O inside spans is fine in tests; the race-shaped
+        # codes stay banned everywhere (stress tests submit callables too)
+        assert "NL604" not in found
+        assert "NL601" in found and "NL603" in found
+
+    def test_bound_method_submission_resolves(self):
+        # the shared-instance findings anchor to the method body, proving
+        # `self.method` submissions resolve through the enclosing class
+        found = lint_fixture("concurrency_bad.py", "concurrency-safety")
+        shared_self = [
+            f for f in found if "'self._work'" in f.message
+        ]
+        assert {f.code for f in shared_self} == {"NL601", "NL602"}
+
+    def test_repo_runtime_stack_is_clean(self):
+        # the hardened shared classes are the reference implementations of
+        # the @thread_shared contract; they must never be flagged
+        for rel in (
+            "src/repro/runtime/cache.py",
+            "src/repro/runtime/ledger.py",
+            "src/repro/runtime/broker.py",
+            "src/repro/telemetry/metrics.py",
+            "src/repro/telemetry/trace.py",
+            "src/repro/utils/parallel.py",
+        ):
+            ctx = FileContext.from_path(REPO_ROOT / rel, REPO_ROOT)
+            found = run_passes_on_context(
+                ctx, [get_pass("concurrency-safety")]
+            )
+            assert found == [], [f.render() for f in found]
+
+
 class TestSuppression:
     def test_inline_disable(self):
         found = codes(lint_fixture("suppressed.py", "linalg-safety"))
@@ -281,6 +332,7 @@ class TestFramework:
             "nondeterminism",
             "shape-contracts",
             "contract-rollout",
+            "concurrency-safety",
         }
 
     def test_syntax_error_reported_not_raised(self):
@@ -416,10 +468,32 @@ class TestCli:
         )
         assert proc.returncode == 0, proc.stdout + proc.stderr
 
+    def test_stale_baseline_fails_only_with_flag(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(TestBaseline.BAD, encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+        proc = self._run(
+            "bad.py", "--root", str(tmp_path),
+            "--baseline", str(baseline), "--update-baseline",
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        # fix the finding: its baseline fingerprint is now stale
+        bad.write_text("def f(K):\n    return K\n", encoding="utf-8")
+        proc = self._run(
+            "bad.py", "--root", str(tmp_path), "--baseline", str(baseline)
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        proc = self._run(
+            "bad.py", "--root", str(tmp_path), "--baseline", str(baseline),
+            "--fail-stale",
+        )
+        assert proc.returncode == 1
+        assert "stale" in proc.stdout
+
     def test_list_passes(self):
         proc = self._run("--list-passes")
         assert proc.returncode == 0
-        for code in ("NL001", "NL101", "NL201", "NL301", "NL401"):
+        for code in ("NL001", "NL101", "NL201", "NL301", "NL401", "NL601"):
             assert code in proc.stdout
 
     def test_missing_path_is_usage_error(self):

@@ -6,7 +6,7 @@ import os
 
 import pytest
 
-from repro.utils.parallel import parallel_map, resolve_n_jobs
+from repro.utils.parallel import WorkerPool, parallel_map, resolve_n_jobs
 
 
 # Worker functions must live at module level so they pickle under the
@@ -83,3 +83,47 @@ class TestParallelMap:
         result = parallel_map(_square, [1, 2, 3], n_jobs=64)
         assert result == [1, 4, 9]
         assert seen["max_workers"] == 3
+
+
+class TestForkContext:
+    def test_fork_preferred_when_available(self, monkeypatch):
+        import repro.utils.parallel as par
+
+        monkeypatch.setattr(
+            par.multiprocessing,
+            "get_all_start_methods",
+            lambda: ["fork", "spawn", "forkserver"],
+        )
+        assert par._fork_context().get_start_method() == "fork"
+
+    def test_spawn_fallback_without_fork(self, monkeypatch):
+        # Windows / spawn-default platforms: the shared context helper
+        # falls back to the platform's first advertised start method
+        import repro.utils.parallel as par
+
+        monkeypatch.setattr(
+            par.multiprocessing,
+            "get_all_start_methods",
+            lambda: ["spawn"],
+        )
+        assert par._fork_context().get_start_method() == "spawn"
+
+    def test_parallel_map_and_pool_share_the_context(self, monkeypatch):
+        # the satellite fix: one context helper, no duplicated logic —
+        # both entry points must route through _fork_context
+        import repro.utils.parallel as par
+
+        calls: list[str] = []
+        real = par._fork_context
+
+        def recording():
+            calls.append("ctx")
+            return real()
+
+        monkeypatch.setattr(par, "_fork_context", recording)
+        parallel_map(_square, [1, 2, 3, 4], n_jobs=2)
+        assert calls == ["ctx"]
+        with WorkerPool(kind="process", n_jobs=2) as pool:
+            results = pool.run_tasks(_square, [1, 2])
+        assert [r for r, _ in results] == [1, 4]
+        assert calls == ["ctx", "ctx"]

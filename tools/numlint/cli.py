@@ -29,7 +29,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="numlint",
         description=(
             "numerics-aware static analysis: RNG discipline, linalg "
-            "safety, out-buffer contracts, dtype hygiene, nondeterminism"
+            "safety, out-buffer contracts, dtype hygiene, nondeterminism, "
+            "concurrency safety"
         ),
     )
     parser.add_argument(
@@ -85,6 +86,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-passes",
         action="store_true",
         help="list registered passes and their codes, then exit",
+    )
+    parser.add_argument(
+        "--fail-stale",
+        action="store_true",
+        help="exit non-zero when baseline entries no longer match any "
+        "finding (keeps the baseline from rotting as findings are fixed)",
     )
     parser.add_argument(
         "--show-baselined",
@@ -202,6 +209,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(
             f"numlint: {len(new)} new finding(s), {len(baselined)} baselined"
         )
+        if stale:
+            print(
+                f"::warning title=numlint::{len(stale)} stale baseline "
+                "fingerprint(s) no longer match any finding; refresh with "
+                "--update-baseline"
+            )
     else:
         for finding in new:
             print(finding.render())
@@ -221,6 +234,14 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
 
     status = 1 if new else 0
+    if args.fail_stale and stale:
+        if output_format != "json":
+            print(
+                f"numlint: failing on {len(stale)} stale baseline "
+                "entr" + ("y" if len(stale) == 1 else "ies")
+                + " (--fail-stale)"
+            )
+        status = max(status, 1)
     if args.with_external:
         status = max(status, _run_external(root))
     return status

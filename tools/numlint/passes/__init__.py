@@ -44,6 +44,7 @@ def registry() -> dict[str, type[LintPass]]:
 
 # Builtin passes register on import.
 from tools.numlint.passes import (  # noqa: E402,F401
+    concurrency,
     contract_rollout,
     dtype_hygiene,
     linalg_safety,
