@@ -21,7 +21,7 @@ from typing import Callable
 import numpy as np
 
 from repro.bo.spec import Specification
-from repro.runtime.objective import Objective
+from repro.runtime.objective import Objective, stable_callable_name
 from repro.utils.validation import as_matrix, unit_cube_bounds
 
 
@@ -58,7 +58,7 @@ class MNAObjective(Objective):
         self._dim = int(dim)
         self._spec = spec
         if cache_key is None:
-            name = getattr(measure, "__qualname__", None) or repr(measure)
+            name = stable_callable_name(measure)
             suffix = f":{spec.name}" if spec is not None else ""
             cache_key = f"mna.{name}{suffix}[d={self._dim}]"
         self._cache_key = str(cache_key)

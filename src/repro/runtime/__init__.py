@@ -39,11 +39,32 @@ from repro.runtime.faults import (
     TransientSimulationError,
 )
 from repro.runtime.ledger import LEDGER_VERSION, LedgerReplay, RunLedger, read_ledger
+
+#: Replay-verifier names resolved lazily so ``python -m repro.runtime.replay``
+#: does not import the module twice (once here, once as ``__main__``).
+_REPLAY_EXPORTS = frozenset(
+    {
+        "REPLAY_MODES",
+        "Divergence",
+        "ReplayReport",
+        "truncate_mid_run",
+        "verify_replay",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _REPLAY_EXPORTS:
+        from repro.runtime import replay
+
+        return getattr(replay, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 from repro.runtime.objective import (
     FunctionObjective,
     Objective,
     require_objective,
     resolve_bounds,
+    stable_callable_name,
 )
 from repro.runtime.resume import ResumeState, resume
 
@@ -57,6 +78,7 @@ __all__ = [
     "EvalBatch",
     "EvaluationBroker",
     "EvaluationError",
+    "Divergence",
     "FaultInjectingObjective",
     "FaultInjectingTestbench",
     "FaultPlan",
@@ -64,6 +86,8 @@ __all__ = [
     "LedgerReplay",
     "NonFiniteResultError",
     "Objective",
+    "REPLAY_MODES",
+    "ReplayReport",
     "ResultCache",
     "batch_digests",
     "ResumeState",
@@ -76,4 +100,7 @@ __all__ = [
     "require_objective",
     "resolve_bounds",
     "resume",
+    "stable_callable_name",
+    "truncate_mid_run",
+    "verify_replay",
 ]

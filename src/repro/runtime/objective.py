@@ -29,6 +29,8 @@ replacement anywhere a legacy row callable was expected.
 from __future__ import annotations
 
 import abc
+import hashlib
+import pickle
 from typing import Callable
 
 import numpy as np
@@ -96,6 +98,32 @@ class Objective(abc.ABC):
         return float(out[0]) if single else out
 
 
+def stable_callable_name(fn: Callable) -> str:
+    """A cache-key-safe name for ``fn``: its qualname, or a content digest.
+
+    ``functools.partial`` objects and callable instances have no
+    ``__qualname__``; their default ``repr`` embeds the object's memory
+    address, which differs between processes and would silently fork the
+    content-addressed result cache (resume re-simulates everything, dedup
+    never hits).  Such callables get a deterministic name derived from
+    their pickle payload instead; a callable that is *also* unpicklable
+    cannot be named stably and must be given an explicit ``cache_key``.
+    """
+    name = getattr(fn, "__qualname__", None)
+    if name:
+        return str(name)
+    try:
+        payload = pickle.dumps(fn, protocol=4)
+    except Exception as exc:
+        raise ValueError(
+            f"cannot derive a stable cache_key for {type(fn).__qualname__}: "
+            "it has no __qualname__ and is not picklable; pass cache_key= "
+            "explicitly"
+        ) from exc
+    short = hashlib.sha256(payload).hexdigest()[:16]
+    return f"{type(fn).__qualname__}#{short}"
+
+
 class FunctionObjective(Objective):
     """Adapter giving a plain callable the :class:`Objective` interface.
 
@@ -132,7 +160,7 @@ class FunctionObjective(Objective):
             lower, upper = check_bounds(bounds, self._dim)
             self._bounds = np.column_stack([lower, upper])
         if cache_key is None:
-            name = getattr(fn, "__qualname__", None) or repr(fn)
+            name = stable_callable_name(fn)
             module = getattr(fn, "__module__", "") or ""
             cache_key = f"{module}.{name}[d={self._dim}]"
         self._cache_key = str(cache_key)
@@ -200,4 +228,5 @@ __all__ = [
     "FunctionObjective",
     "require_objective",
     "resolve_bounds",
+    "stable_callable_name",
 ]

@@ -14,12 +14,37 @@ bitwise-identical to an uninterrupted run.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.runtime.broker import BrokerConfig, RuntimePolicy
 from repro.runtime.cache import DEFAULT_DECIMALS, ResultCache
 from repro.runtime.ledger import LedgerReplay, RunLedger, read_ledger
+
+
+def _drop_torn_tail(path: Path) -> None:
+    """Remove the torn final line a mid-write kill left behind.
+
+    ``ResumeState.policy(append_ledger=True)`` keeps appending to the same
+    file; without healing, the unparseable fragment would sit *between*
+    the original prefix and the resumed events, and every later
+    :func:`~repro.runtime.ledger.read_ledger` would reject the file
+    (garbage is only tolerated on the final line).
+    """
+    lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
+    idx = len(lines) - 1
+    while idx >= 0 and not lines[idx].strip():
+        idx -= 1
+    if idx < 0:
+        return
+    try:
+        json.loads(lines[idx].strip())
+    except json.JSONDecodeError:
+        del lines[idx:]
+    if lines and not lines[-1].endswith("\n"):
+        lines[-1] += "\n"
+    path.write_text("".join(lines), encoding="utf-8")
 
 
 @dataclass
@@ -63,8 +88,15 @@ def resume(
     ``decimals`` must match the interrupted run's ``cache_decimals`` so the
     preloaded digests address the same rounded points; the campaign header
     in the ledger records the original value.
+
+    When the kill tore the final line, the fragment is dropped from the
+    file so that the default append-in-place resume
+    (:meth:`ResumeState.policy`) leaves a ledger every later
+    :func:`~repro.runtime.ledger.read_ledger` still accepts.
     """
     replay = read_ledger(ledger_path)
+    if replay.truncated:
+        _drop_torn_tail(Path(ledger_path))
     for header in replay.campaigns():
         recorded = header.get("cache_decimals")
         if recorded is not None and int(recorded) != int(decimals):

@@ -1,0 +1,67 @@
+"""Reproducible counterparts: the determinism pass stays silent here."""
+
+import json
+import time
+
+import numpy as np
+from numpy.random import default_rng
+
+from repro.utils.parallel import WorkerPool
+
+
+def _elapsed(t0: float) -> float:
+    # monotonic durations are allowed everywhere
+    return time.perf_counter() - t0
+
+
+class KeyedThing:
+    def __init__(self, dim: int, seed: int):
+        self.dim = dim
+        self._rng = default_rng(seed)
+        self._ledger = []
+
+    @property
+    def cache_key(self) -> str:
+        return f"thing[d={self.dim}]"
+
+    def _finish(self, record: dict, seconds: float) -> None:
+        record["seconds"] = float(seconds)
+        self._ledger.append(record)
+
+    def evaluate(self, X):
+        noise = self._rng.normal(size=np.asarray(X).shape[0])
+        return np.asarray(X).sum(axis=1) + noise
+
+    def dump(self, names) -> str:
+        return json.dumps(sorted(set(names)))
+
+
+def make_key(tag: str, dim: int) -> str:
+    cache_key = f"{tag}[d={dim}]"
+    return cache_key
+
+
+def run_closed(fn, tasks):
+    pool = WorkerPool(kind="process", n_jobs=4)
+    try:
+        return pool.run_tasks(fn, tasks)
+    finally:
+        pool.close()
+
+
+def run_with(fn, tasks):
+    with WorkerPool(kind="thread", n_jobs=2) as pool:
+        return pool.run_tasks(fn, tasks)
+
+
+def make_pool(n_jobs: int) -> WorkerPool:
+    pool = WorkerPool(kind="thread", n_jobs=n_jobs)
+    return pool  # ownership transfer: the caller manages the lifecycle
+
+
+def append_event(path, event) -> None:
+    try:
+        with path.open("a") as fh:
+            fh.write(json.dumps(event) + "\n")
+    except OSError as exc:
+        raise RuntimeError(f"ledger write failed: {exc}") from exc

@@ -25,6 +25,7 @@ from tools.numlint import (
     split_findings,
 )
 from tools.numlint.core import run_passes_on_context
+from tools.numlint.sarif import build_sarif
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 FIXTURES = REPO_ROOT / "tests" / "numlint_fixtures"
@@ -35,6 +36,7 @@ FIXTURES = REPO_ROOT / "tests" / "numlint_fixtures"
 LIBRARY_PATH = "src/repro/sampling/fixture.py"
 HOT_PATH = "src/repro/gp/fixture.py"
 EXPERIMENT_PATH = "src/repro/experiments/fixture.py"
+RUNTIME_PATH = "src/repro/runtime/fixture.py"
 TEST_PATH = "tests/fixture.py"
 
 
@@ -313,6 +315,99 @@ class TestConcurrencySafety:
             assert found == [], [f.render() for f in found]
 
 
+class TestDeterminism:
+    def test_fires_on_bad(self):
+        found = codes(
+            lint_fixture("determinism_bad.py", "determinism", RUNTIME_PATH)
+        )
+        assert found.count("NL701") == 2
+        assert found.count("NL702") == 1
+        assert found.count("NL703") == 2
+        assert found.count("NL704") == 1
+        assert found.count("NL705") == 1
+        assert found.count("NL706") == 2
+        assert len(found) == 9
+
+    def test_silent_on_good(self):
+        assert (
+            lint_fixture("determinism_good.py", "determinism", RUNTIME_PATH)
+            == []
+        )
+
+    def test_silent_in_tests(self):
+        # replay guarantees are a library property; test code may clock and
+        # draw freely
+        assert (
+            lint_fixture("determinism_bad.py", "determinism", TEST_PATH) == []
+        )
+
+    def test_nl706_scoped_to_persistence_modules(self):
+        # swallowed handlers are only a replay hazard on persistence paths;
+        # the same code outside repro.runtime/repro.telemetry is quiet
+        found = codes(
+            lint_fixture("determinism_bad.py", "determinism", LIBRARY_PATH)
+        )
+        assert "NL706" not in found
+
+    def test_interprocedural_witness_chain(self):
+        # the cache-key finding names the helper chain down to time.time(),
+        # proving the effect came through the call graph, not the body
+        found = lint_fixture(
+            "determinism_bad.py", "determinism", RUNTIME_PATH
+        )
+        nl701 = [f for f in found if f.code == "NL701"]
+        assert any("time.time()" in f.message for f in nl701)
+        assert any("_salt" in f.message for f in nl701)
+
+    def test_repo_runtime_stack_is_clean(self):
+        # the ledger/cache/broker/replay stack is what the pass protects;
+        # it must itself satisfy every NL7xx rule
+        determinism = get_pass("determinism")
+        for rel in (
+            "src/repro/runtime/cache.py",
+            "src/repro/runtime/ledger.py",
+            "src/repro/runtime/broker.py",
+            "src/repro/runtime/replay.py",
+            "src/repro/runtime/resume.py",
+            "src/repro/runtime/objective.py",
+        ):
+            ctx = FileContext.from_path(REPO_ROOT / rel, REPO_ROOT)
+            found = run_passes_on_context(ctx, [determinism])
+            assert found == [], [f.render() for f in found]
+
+
+class TestSarif:
+    def test_document_structure(self):
+        findings = lint_fixture(
+            "determinism_bad.py", "determinism", RUNTIME_PATH
+        )
+        doc = build_sarif(findings, all_passes())
+        assert doc["version"] == "2.1.0"
+        assert doc["$schema"].endswith("sarif-2.1.0.json")
+        (run,) = doc["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "numlint"
+        rule_ids = [rule["id"] for rule in driver["rules"]]
+        assert rule_ids == sorted(rule_ids)
+        assert "NL000" in rule_ids and "NL701" in rule_ids
+        assert len(run["results"]) == len(findings)
+        for result, finding in zip(run["results"], findings):
+            assert result["ruleId"] == finding.code
+            assert result["ruleId"] in rule_ids
+            assert rule_ids[result["ruleIndex"]] == result["ruleId"]
+            loc = result["locations"][0]["physicalLocation"]
+            assert loc["artifactLocation"]["uri"] == finding.relpath
+            assert loc["region"]["startLine"] == finding.line
+            assert loc["region"]["startColumn"] == finding.col + 1
+            assert result["partialFingerprints"]["numlint/v1"]
+
+    def test_empty_run_still_lists_rules(self):
+        doc = build_sarif([], all_passes())
+        (run,) = doc["runs"]
+        assert run["results"] == []
+        assert len(run["tool"]["driver"]["rules"]) > 30
+
+
 class TestSuppression:
     def test_inline_disable(self):
         found = codes(lint_fixture("suppressed.py", "linalg-safety"))
@@ -333,6 +428,7 @@ class TestFramework:
             "shape-contracts",
             "contract-rollout",
             "concurrency-safety",
+            "determinism",
         }
 
     def test_syntax_error_reported_not_raised(self):
@@ -493,12 +589,42 @@ class TestCli:
     def test_list_passes(self):
         proc = self._run("--list-passes")
         assert proc.returncode == 0
-        for code in ("NL001", "NL101", "NL201", "NL301", "NL401", "NL601"):
+        for code in ("NL001", "NL101", "NL201", "NL301", "NL401", "NL601", "NL701"):
             assert code in proc.stdout
 
     def test_missing_path_is_usage_error(self):
         proc = self._run("no/such/dir")
         assert proc.returncode == 2
+
+    def test_jobs_output_byte_identical(self):
+        seq = self._run("src/repro/runtime", "--jobs", "1")
+        par = self._run("src/repro/runtime", "--jobs", "4")
+        assert seq.returncode == par.returncode == 0, seq.stdout + par.stdout
+        assert par.stdout == seq.stdout
+
+    def test_sarif_format(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(TestBaseline.BAD, encoding="utf-8")
+        proc = self._run(
+            str(bad), "--root", str(tmp_path), "--no-baseline",
+            "--format", "sarif",
+        )
+        assert proc.returncode == 1
+        doc = json.loads(proc.stdout)
+        assert doc["version"] == "2.1.0"
+        results = doc["runs"][0]["results"]
+        assert [r["ruleId"] for r in results] == ["NL101"]
+
+    def test_explain_known_code(self):
+        proc = self._run("--explain", "NL701")
+        assert proc.returncode == 0
+        assert "cache" in proc.stdout
+        assert "triggers:" in proc.stdout and "clean:" in proc.stdout
+
+    def test_explain_unknown_code(self):
+        proc = self._run("--explain", "NL999")
+        assert proc.returncode == 2
+        assert "unknown code" in proc.stderr
 
 
 @pytest.mark.parametrize("lint_pass", all_passes(), ids=lambda p: p.name)

@@ -1,0 +1,209 @@
+"""Unit tests for the interprocedural effect-inference engine.
+
+The NL7xx determinism pass consumes this index; these tests pin the engine
+itself: intrinsic effect catalogs, fixpoint propagation over the call
+graph (including cycles), effect joins at call sites, decorator-wrapped
+and nested functions, method resolution, and witness chains.
+"""
+
+from __future__ import annotations
+
+from tools.numlint import FileContext
+from tools.numlint.effects import PURE, build_effect_index
+
+MOD_PATH = "src/repro/sampling/mod.py"
+MOD = "repro.sampling.mod"
+
+
+def index_of(source: str, relpath: str = MOD_PATH):
+    return build_effect_index([FileContext(relpath, source)])
+
+
+class TestIntrinsicEffects:
+    def test_catalog_hits(self):
+        idx = index_of(
+            "import os\n"
+            "import time\n"
+            "import numpy as np\n"
+            "def clocked():\n"
+            "    return time.time()\n"
+            "def drawn():\n"
+            "    return np.random.rand()\n"
+            "def envy():\n"
+            "    return os.environ.get('HOME')\n"
+            "def addressed(x):\n"
+            "    return repr(x)\n"
+            "def writes(path, data):\n"
+            "    with open(path, 'w') as fh:\n"
+            "        fh.write(data)\n"
+            "def pure(x):\n"
+            "    return x + 1\n"
+        )
+        assert idx.effects_of(f"{MOD}.clocked") == {"TIME"}
+        assert idx.effects_of(f"{MOD}.drawn") == {"GLOBAL_RNG"}
+        assert idx.effects_of(f"{MOD}.envy") == {"ENV"}
+        assert idx.effects_of(f"{MOD}.addressed") == {"ADDR"}
+        assert "IO" in idx.effects_of(f"{MOD}.writes")
+        assert idx.is_pure(f"{MOD}.pure")
+
+    def test_monotonic_clock_and_seeded_rng_are_pure(self):
+        idx = index_of(
+            "import time\n"
+            "from numpy.random import default_rng\n"
+            "def timed():\n"
+            "    return time.perf_counter()\n"
+            "def seeded():\n"
+            "    return default_rng(7).normal()\n"
+            "def unseeded():\n"
+            "    return default_rng().normal()\n"
+        )
+        assert idx.is_pure(f"{MOD}.timed")
+        assert idx.is_pure(f"{MOD}.seeded")
+        assert idx.effects_of(f"{MOD}.unseeded") == {"GLOBAL_RNG"}
+
+    def test_set_iteration_is_nondet(self):
+        idx = index_of(
+            "def over_set(names):\n"
+            "    return [n for n in set(names)]\n"
+            "def over_sorted(names):\n"
+            "    return [n for n in sorted(set(names))]\n"
+        )
+        assert idx.effects_of(f"{MOD}.over_set") == {"NONDET_ITER"}
+        assert idx.is_pure(f"{MOD}.over_sorted")
+
+    def test_unknown_function_is_pure(self):
+        idx = index_of("def f():\n    return 1\n")
+        assert idx.effects_of("no.such.function") == PURE
+        assert idx.is_pure("no.such.function")
+
+
+class TestPropagation:
+    def test_transitive_effect_and_chain(self):
+        idx = index_of(
+            "import time\n"
+            "def leaf():\n"
+            "    return time.time()\n"
+            "def mid():\n"
+            "    return leaf()\n"
+            "def top():\n"
+            "    return mid()\n"
+        )
+        assert idx.effects_of(f"{MOD}.top") == {"TIME"}
+        assert idx.chain(f"{MOD}.top", "TIME") == [
+            f"{MOD}.top",
+            f"{MOD}.mid",
+            f"{MOD}.leaf",
+            "time.time()",
+        ]
+        assert (
+            idx.render_chain(f"{MOD}.top", "TIME")
+            == "top -> mid -> leaf -> time.time()"
+        )
+        source = idx.source_of(f"{MOD}.top", "TIME")
+        assert source is not None and source.detail == "time.time()"
+
+    def test_effects_join_across_callees(self):
+        idx = index_of(
+            "import os\n"
+            "import time\n"
+            "def a():\n"
+            "    return time.time()\n"
+            "def b():\n"
+            "    return os.environ['HOME']\n"
+            "def both():\n"
+            "    return a(), b()\n"
+        )
+        assert idx.effects_of(f"{MOD}.both") == {"TIME", "ENV"}
+
+    def test_cycles_terminate_and_share_effects(self):
+        idx = index_of(
+            "import time\n"
+            "def ping(n):\n"
+            "    return pong(n - 1) if n else time.time()\n"
+            "def pong(n):\n"
+            "    return ping(n - 1) if n else 0.0\n"
+            "def recursive(n):\n"
+            "    return recursive(n - 1) if n else time.time()\n"
+        )
+        assert idx.effects_of(f"{MOD}.ping") == {"TIME"}
+        assert idx.effects_of(f"{MOD}.pong") == {"TIME"}
+        assert idx.effects_of(f"{MOD}.recursive") == {"TIME"}
+        # witness chains stay finite through the cycle
+        chain = idx.chain(f"{MOD}.pong", "TIME")
+        assert chain[-1] == "time.time()"
+
+    def test_decorated_functions_propagate(self):
+        idx = index_of(
+            "import functools\n"
+            "import time\n"
+            "@functools.lru_cache(maxsize=None)\n"
+            "def salted():\n"
+            "    return time.time()\n"
+            "def caller():\n"
+            "    return salted()\n"
+        )
+        assert idx.effects_of(f"{MOD}.salted") == {"TIME"}
+        assert idx.effects_of(f"{MOD}.caller") == {"TIME"}
+
+    def test_nested_defs_are_separate_units(self):
+        idx = index_of(
+            "import time\n"
+            "def outer():\n"
+            "    def inner():\n"
+            "        return time.time()\n"
+            "    return inner()\n"
+        )
+        assert idx.effects_of(f"{MOD}.outer.inner") == {"TIME"}
+        assert idx.effects_of(f"{MOD}.outer") == {"TIME"}
+
+    def test_self_method_resolution(self):
+        idx = index_of(
+            "import random\n"
+            "class Thing:\n"
+            "    def _draw(self):\n"
+            "        return random.random()\n"
+            "    def evaluate(self, x):\n"
+            "        return x + self._draw()\n"
+        )
+        assert idx.effects_of(f"{MOD}.Thing._draw") == {"GLOBAL_RNG"}
+        assert idx.effects_of(f"{MOD}.Thing.evaluate") == {"GLOBAL_RNG"}
+
+    def test_callback_reference_edge(self):
+        # passing an impure function by name taints the consumer: the
+        # engine adds a reference edge even without a direct call
+        idx = index_of(
+            "import time\n"
+            "def stamp():\n"
+            "    return time.time()\n"
+            "def runs_callback(items):\n"
+            "    return list(map(stamp, items))\n"
+        )
+        assert "TIME" in idx.effects_of(f"{MOD}.runs_callback")
+
+
+class TestCrossModule:
+    def test_imported_name_resolves_across_files(self):
+        helpers = FileContext(
+            "src/repro/sampling/helpers.py",
+            "import time\n"
+            "def salty():\n"
+            "    return time.time()\n",
+        )
+        mod = FileContext(
+            MOD_PATH,
+            "from repro.sampling.helpers import salty\n"
+            "def build_key(tag):\n"
+            "    return f'{tag}-{salty()}'\n",
+        )
+        idx = build_effect_index([helpers, mod])
+        assert idx.effects_of(f"{MOD}.build_key") == {"TIME"}
+        assert (
+            idx.render_chain(f"{MOD}.build_key", "TIME")
+            == "build_key -> salty -> time.time()"
+        )
+
+    def test_parse_error_contexts_are_skipped(self):
+        broken = FileContext("src/repro/sampling/broken.py", "def broken(:\n")
+        ok = FileContext(MOD_PATH, "def f():\n    return 1\n")
+        idx = build_effect_index([broken, ok])
+        assert idx.is_pure(f"{MOD}.f")

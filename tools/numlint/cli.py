@@ -10,6 +10,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import re
 import shutil
 import subprocess
 import sys
@@ -17,8 +18,9 @@ from pathlib import Path
 from typing import Sequence
 
 from tools.numlint.baseline import load_baseline, save_baseline, split_findings
-from tools.numlint.core import Finding, run_paths
+from tools.numlint.core import Finding, LintPass, run_paths
 from tools.numlint.passes import all_passes, get_pass
+from tools.numlint.sarif import build_sarif
 
 DEFAULT_PATHS = ("src", "benchmarks", "tests", "examples")
 DEFAULT_BASELINE = Path("tools") / "numlint" / "baseline.json"
@@ -30,7 +32,7 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "numerics-aware static analysis: RNG discipline, linalg "
             "safety, out-buffer contracts, dtype hygiene, nondeterminism, "
-            "concurrency safety"
+            "concurrency safety, determinism & replay safety"
         ),
     )
     parser.add_argument(
@@ -77,10 +79,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json", "github"),
+        choices=("text", "json", "github", "sarif"),
         default=None,
         help="output format (default: text; 'github' emits workflow-command "
-        "annotations and is auto-selected when GITHUB_ACTIONS is set)",
+        "annotations and is auto-selected when GITHUB_ACTIONS is set; "
+        "'sarif' emits a SARIF 2.1.0 log of the new findings)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="analyze files across N forked worker processes (prepare stays "
+        "single-threaded; output is byte-identical to --jobs 1)",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="NLxxx",
+        default=None,
+        help="print the rationale and example snippets for one diagnostic "
+        "code, then exit",
     )
     parser.add_argument(
         "--list-passes",
@@ -131,6 +149,68 @@ def _list_passes() -> int:
     return 0
 
 
+def _docstring_rationale(lint_pass: LintPass, code: str) -> str | None:
+    """The ``* **NLxxx** —`` bullet for ``code`` from the pass docstrings.
+
+    Every pass module documents its codes as a bulleted registry; this
+    parses the bullet body (including indented continuation lines) so
+    ``--explain`` and the docs cannot drift apart.
+    """
+    docs = [
+        sys.modules.get(type(lint_pass).__module__).__doc__ or "",
+        type(lint_pass).__doc__ or "",
+    ]
+    pattern = re.compile(
+        rf"^\* \*\*{re.escape(code)}\*\*\s*[—-]\s*(.*)$"
+    )
+    for doc in docs:
+        lines = doc.splitlines()
+        for i, line in enumerate(lines):
+            match = pattern.match(line.strip())
+            if match is None:
+                continue
+            body = [match.group(1).strip()]
+            for cont in lines[i + 1 :]:
+                stripped = cont.strip()
+                if not stripped or stripped.startswith("* **"):
+                    break
+                body.append(stripped)
+            return " ".join(body)
+    return None
+
+
+def _explain(code: str) -> int:
+    """Print the rationale and example pair for one diagnostic code."""
+    code = code.strip().upper()
+    for lint_pass in all_passes():
+        if code not in lint_pass.codes:
+            continue
+        print(f"{code}: {lint_pass.codes[code]}")
+        print(f"pass: {lint_pass.name} — {lint_pass.description}")
+        rationale = _docstring_rationale(lint_pass, code)
+        if rationale:
+            print()
+            print(rationale)
+        example = lint_pass.examples.get(code)
+        if example:
+            triggering, clean = example
+            print()
+            print("triggers:")
+            for line in triggering.strip("\n").splitlines():
+                print(f"    {line}")
+            print()
+            print("clean:")
+            for line in clean.strip("\n").splitlines():
+                print(f"    {line}")
+        return 0
+    known = sorted(
+        code for lint_pass in all_passes() for code in lint_pass.codes
+    )
+    print(f"numlint: unknown code {code!r}", file=sys.stderr)
+    print(f"numlint: known codes: {', '.join(known)}", file=sys.stderr)
+    return 2
+
+
 def _run_external(root: Path) -> int:
     """Best-effort ruff + mypy; missing tools are a notice, not a failure."""
     status = 0
@@ -152,6 +232,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.list_passes:
         return _list_passes()
+    if args.explain is not None:
+        return _explain(args.explain)
 
     root = args.root.resolve()
     baseline_path = (
@@ -170,7 +252,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             if args.pass_names
             else None
         )
-        findings = run_paths(args.paths, root, passes=passes, select=select)
+        findings = run_paths(
+            args.paths, root, passes=passes, select=select, jobs=args.jobs
+        )
     except (FileNotFoundError, KeyError) as exc:
         print(f"numlint: error: {exc}", file=sys.stderr)
         return 2
@@ -192,7 +276,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             "github" if os.environ.get("GITHUB_ACTIONS") else "text"
         )
 
-    if output_format == "json":
+    if output_format == "sarif":
+        active = passes if passes is not None else all_passes()
+        print(json.dumps(build_sarif(new, active), indent=2))
+    elif output_format == "json":
         print(
             json.dumps(
                 {
@@ -235,7 +322,7 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     status = 1 if new else 0
     if args.fail_stale and stale:
-        if output_format != "json":
+        if output_format not in ("json", "sarif"):
             print(
                 f"numlint: failing on {len(stale)} stale baseline "
                 "entr" + ("y" if len(stale) == 1 else "ies")

@@ -46,6 +46,7 @@ def registry() -> dict[str, type[LintPass]]:
 from tools.numlint.passes import (  # noqa: E402,F401
     concurrency,
     contract_rollout,
+    determinism,
     dtype_hygiene,
     linalg_safety,
     nondeterminism,

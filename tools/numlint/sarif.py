@@ -1,0 +1,109 @@
+"""SARIF 2.1.0 output for CI code-scanning upload.
+
+``--format=sarif`` serializes the *new* (non-baselined) findings as a
+single-run SARIF log so GitHub code scanning (or any SARIF consumer) can
+annotate PRs.  The rule table is built from every active pass's declared
+``codes`` — including rules with zero results, so the scanner knows the
+full set of checks that ran — plus the synthetic ``NL000`` parser rule.
+Result fingerprints reuse the baseline fingerprint algorithm
+(:mod:`tools.numlint.baseline`), giving consumers the same stable identity
+across line-shifting edits that the baseline machinery uses.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from tools.numlint import __version__
+from tools.numlint.baseline import fingerprint_findings
+from tools.numlint.core import Finding, LintPass
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: The parser emits NL000 outside any registered pass; declare it so every
+#: possible ``ruleId`` in ``results`` has a matching rule entry.
+_PARSER_RULE = ("NL000", "file does not parse", "parser")
+
+
+def _rule_entry(code: str, summary: str, pass_name: str) -> dict:
+    return {
+        "id": code,
+        "name": code,
+        "shortDescription": {"text": summary},
+        "defaultConfiguration": {"level": "error"},
+        "properties": {"pass": pass_name},
+    }
+
+
+def build_rules(passes: Sequence[LintPass]) -> list[dict]:
+    """One SARIF ``reportingDescriptor`` per declared diagnostic code."""
+    rules = [_rule_entry(*_PARSER_RULE)]
+    for lint_pass in passes:
+        for code, summary in sorted(lint_pass.codes.items()):
+            rules.append(_rule_entry(code, summary, lint_pass.name))
+    rules.sort(key=lambda rule: rule["id"])
+    return rules
+
+
+def build_sarif(
+    findings: Sequence[Finding], passes: Sequence[LintPass]
+) -> dict:
+    """A complete SARIF 2.1.0 log dict for ``findings``.
+
+    ``findings`` should already be baseline-filtered (new findings only);
+    the caller decides that policy, this module just serializes.
+    """
+    rules = build_rules(passes)
+    rule_index = {rule["id"]: i for i, rule in enumerate(rules)}
+    fingerprints = {
+        id(finding): digest
+        for digest, finding in fingerprint_findings(findings).items()
+    }
+    results = []
+    for finding in findings:
+        result = {
+            "ruleId": finding.code,
+            "level": "error",
+            "message": {"text": f"{finding.message} [{finding.pass_name}]"},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.relpath,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {
+                "numlint/v1": fingerprints[id(finding)]
+            },
+        }
+        if finding.code in rule_index:
+            result["ruleIndex"] = rule_index[finding.code]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "numlint",
+                        "version": __version__,
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "build_rules", "build_sarif"]
