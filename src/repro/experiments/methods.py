@@ -129,10 +129,13 @@ def shared_initial_data(
     Routed through the evaluation runtime so a shared ``runtime`` caches
     the initial simulations: every method reusing this design (or
     re-evaluating the same points) is then served without re-simulating.
+    Pass ``RuntimePolicy.shared(cache_path=...)`` to persist the initial
+    simulations in an on-disk :meth:`ResultCache.open` store that later
+    campaigns (or the ``repro.serve`` scheduler) can reuse.
     """
     objective = testbench.objective(spec_name)
     X = uniform_initial_design(testbench.bounds(), cfg.n_init, seed=cfg.seed)
-    policy = runtime if runtime is not None else RuntimePolicy()
+    policy = runtime if runtime is not None else RuntimePolicy.shared()
     broker = EvaluationBroker(
         objective,
         config=policy.config,

@@ -17,7 +17,14 @@ simulation:
   value);
 * **deduplication** — results are stored in a content-addressed
   :class:`~repro.runtime.cache.ResultCache` keyed on ``(cache_key,
-  rounded x)``, so repeated points never re-simulate;
+  rounded x)``, so repeated points never re-simulate.  Across *concurrent*
+  brokers sharing one cache (the multi-campaign scheduler, DESIGN.md §15)
+  the cache's single-flight claims extend the guarantee: a batch first
+  claims ownership of each missing digest, simulates only the digests it
+  won, and blocks on digests another broker is simulating right now —
+  served as ``cache_hit`` events once the owner's value lands, so N
+  campaigns racing over shared designs still produce
+  ``duplicate_simulations == 0``;
 * **audit + checkpoint** — every event is appended to an optional
   :class:`~repro.runtime.ledger.RunLedger`, which doubles as the resume
   checkpoint;
@@ -60,7 +67,13 @@ from typing import Any
 import numpy as np
 
 from repro._typing import FloatArray, IntArray
-from repro.runtime.cache import DEFAULT_DECIMALS, ResultCache
+from repro.runtime.cache import (
+    CLAIM_HIT,
+    CLAIM_INFLIGHT,
+    CLAIM_OWNED,
+    DEFAULT_DECIMALS,
+    ResultCache,
+)
 from repro.runtime.ledger import LEDGER_VERSION, RunLedger
 from repro.runtime.objective import Objective, require_objective
 from repro.telemetry.config import TelemetryLike, resolve_telemetry
@@ -302,7 +315,7 @@ class EvaluationBroker:
         self.cache = (
             cache
             if cache is not None
-            else ResultCache(decimals=self.config.cache_decimals)
+            else ResultCache.in_memory(decimals=self.config.cache_decimals)
         )
         self.ledger = ledger
         self.recorder = recorder
@@ -420,13 +433,79 @@ class EvaluationBroker:
             )
         return delay
 
+    def _record_hit(
+        self,
+        pos: int,
+        eval_id: int,
+        digest: str,
+        value: float,
+        values: list[float | None],
+    ) -> None:
+        """Bookkeeping for one point served without simulating here."""
+        self.stats.n_cache_hits += 1
+        self._metrics.counter("cache.hits").inc()
+        values[pos] = value
+        self._log(
+            {"event": "cache_hit", "id": eval_id, "digest": digest, "y": value}
+        )
+
+    def _await_inflight(
+        self,
+        waiting: list[_Pending],
+        values: list[float | None],
+        dropped: list[bool],
+        owned: set[str],
+    ) -> tuple[int, int]:
+        """Resolve points a concurrent broker claimed before this batch.
+
+        Each point blocks until the owning broker publishes its value
+        (served as a cache hit) or abandons the claim (this broker then
+        races to re-claim and simulate it — the loop re-parks points that
+        lose the race to a third broker).  Returns ``(hits, misses)`` for
+        the batch's phase-span annotation.  Called only after this batch's
+        own simulations resolved, so no broker ever waits while holding an
+        unresolved claim — the fleet cannot deadlock on claims.
+        """
+        hits = misses = 0
+        while waiting:
+            parked: list[_Pending] = []
+            claimed: list[_Pending] = []
+            for p in waiting:
+                value = self.cache.wait_for(p.digest)
+                if value is not None:
+                    hits += 1
+                    self._record_hit(p.pos, p.eval_id, p.digest, value, values)
+                    continue
+                status, hit = self.cache.lookup_or_claim([p.digest])[0]
+                if status == CLAIM_HIT:
+                    hits += 1
+                    self._record_hit(p.pos, p.eval_id, p.digest, hit, values)
+                elif status == CLAIM_OWNED:
+                    owned.add(p.digest)
+                    misses += 1
+                    self._metrics.counter("cache.misses").inc()
+                    claimed.append(p)
+                else:  # a third broker won the re-claim race; park again
+                    parked.append(p)
+            if claimed:
+                self._run_rounds(claimed, values, dropped, owned)
+            waiting = parked
+        return hits, misses
+
     def _resolve_exhausted(
         self,
         pending: _Pending,
         error: BaseException,
         values: list[float | None],
         dropped: list[bool],
+        owned: set[str],
     ) -> None:
+        # terminal non-completion: release the single-flight claim *now* so
+        # concurrent waiters re-claim immediately instead of blocking until
+        # this batch's finally (two brokers skip-failing each other's
+        # waited points would otherwise deadlock)
+        self.cache.abandon_many((pending.digest,))
+        owned.discard(pending.digest)
         policy = self.config.failure_policy
         if policy == "raise":
             raise EvaluationError(
@@ -458,43 +537,55 @@ class EvaluationBroker:
         dropped = [False] * n
 
         pending: list[_Pending] = []
+        waiting: list[_Pending] = []
+        owned: set[str] = set()
         first_pos: dict[str, int] = {}
         duplicates: list[tuple[int, int, str]] = []  # (pos, eval_id, digest)
         # one vectorized rounding/hash pass over the whole block, and one
-        # lock acquisition for all lookups (hit/miss counting matches the
-        # equivalent per-point get() sequence exactly)
+        # atomic lookup-or-claim for the block: hits resolve immediately,
+        # missing digests are either claimed for this broker (simulate) or
+        # already in flight under a concurrent broker (wait for its value)
         digests = self.cache.keys_for_batch(self.objective.cache_key, X)
-        hits = self.cache.get_many(digests)
+        claims = self.cache.lookup_or_claim(digests)
         batch_hits = 0
+        batch_misses = 0
         for pos in range(n):
             digest = digests[pos]
             eval_id = self._next_id
             self._next_id += 1
-            hit = hits[pos]
-            if hit is not None:
-                self.stats.n_cache_hits += 1
+            status, hit = claims[pos]
+            if status == CLAIM_HIT:
                 batch_hits += 1
-                self._metrics.counter("cache.hits").inc()
-                values[pos] = hit
-                self._log(
-                    {
-                        "event": "cache_hit",
-                        "id": eval_id,
-                        "digest": digest,
-                        "y": hit,
-                    }
-                )
-            elif digest in first_pos:
-                # same point again within this batch: simulate once, mirror
-                # the first occurrence's outcome afterwards
-                duplicates.append((pos, eval_id, digest))
-            else:
+                self._record_hit(pos, eval_id, digest, hit, values)
+            elif status == CLAIM_OWNED:
                 first_pos[digest] = pos
+                owned.add(digest)
+                batch_misses += 1
                 self._metrics.counter("cache.misses").inc()
                 pending.append(_Pending(pos, eval_id, X[pos], digest))
+            elif status == CLAIM_INFLIGHT:
+                waiting.append(_Pending(pos, eval_id, X[pos], digest))
+            else:  # CLAIM_REPEAT: same point again within this batch —
+                # simulate once, mirror the first occurrence's outcome
+                duplicates.append((pos, eval_id, digest))
 
-        if pending:
-            self._run_rounds(pending, values, dropped)
+        try:
+            if pending:
+                self._run_rounds(pending, values, dropped, owned)
+            if waiting:
+                # own simulations are done — block on concurrent owners
+                # (waiting *after* simulating keeps the fleet deadlock-free:
+                # nobody waits while holding an unresolved claim)
+                wait_hits, wait_misses = self._await_inflight(
+                    waiting, values, dropped, owned
+                )
+                batch_hits += wait_hits
+                batch_misses += wait_misses
+        finally:
+            # release any claims still held (raise-policy exits, bugs in
+            # the objective) so concurrent waiters can re-claim the points
+            if owned:
+                self.cache.abandon_many(owned)
 
         for pos, eval_id, digest in duplicates:
             lead = first_pos[digest]
@@ -527,7 +618,7 @@ class EvaluationBroker:
             # open (iteration / init_design): cache hits emit no evaluate
             # span, so this is how per-phase hit rates reach the report
             self._tracer.annotate("cache_hits", batch_hits)
-            self._tracer.annotate("cache_misses", len(pending))
+            self._tracer.annotate("cache_misses", batch_misses)
 
         keep = [i for i in range(n) if not dropped[i]]
         y = np.array([values[i] for i in keep], dtype=float)
@@ -546,6 +637,7 @@ class EvaluationBroker:
         pending: list[_Pending],
         values: list[float | None],
         dropped: list[bool],
+        owned: set[str],
     ) -> None:
         kind = self.config.resolve_executor()
         dispatch = self.config.resolve_dispatch(self.objective)
@@ -579,7 +671,8 @@ class EvaluationBroker:
                         self.stats.n_completed += 1
                         self.stats.eval_seconds += seconds
                         values[p.pos] = value
-                        self.cache.put(p.digest, value)
+                        self.cache.put(p.digest, value)  # releases the claim
+                        owned.discard(p.digest)
                         # worker-measured duration, parented under whatever
                         # span (iteration/init_design) is open right now —
                         # the id attribute is the trace<->ledger join key
@@ -624,7 +717,7 @@ class EvaluationBroker:
                     return
                 if attempt >= self.config.max_retries:
                     for p, error in failed:
-                        self._resolve_exhausted(p, error, values, dropped)
+                        self._resolve_exhausted(p, error, values, dropped, owned)
                     return
                 delay = self._backoff_delay(attempt)
                 self.stats.n_retries += len(failed)
@@ -680,14 +773,37 @@ class RuntimePolicy:
         ledger_path: str | Path | None = None,
         config: BrokerConfig | None = None,
         decimals: int | None = None,
+        cache: ResultCache | None = None,
+        cache_path: str | Path | None = None,
     ) -> "RuntimePolicy":
-        """A policy with one shared cache (and optional ledger) for a campaign."""
+        """A policy with one shared cache (and optional ledger) for a campaign.
+
+        ``cache`` reuses an existing store (e.g. the scheduler's persistent
+        cross-campaign cache); ``cache_path`` opens a persistent
+        :meth:`ResultCache.open` store at that directory.  Without either,
+        a fresh in-memory cache is created.  When a cache is supplied, the
+        policy's ``cache_decimals`` is aligned to it so brokers and
+        resume agree on the digests.
+        """
+        if cache is not None and cache_path is not None:
+            raise ValueError("pass cache or cache_path, not both")
         cfg = config if config is not None else BrokerConfig()
         if decimals is not None:
             cfg = replace(cfg, cache_decimals=decimals)
+        if cache_path is not None:
+            # ownership transfers to the returned policy; the caller scopes
+            # the cache's lifetime through the policy it receives
+            cache = ResultCache.open(  # numlint: disable=NL705
+                cache_path,
+                decimals=decimals if decimals is not None else None,
+            )
+        if cache is None:
+            cache = ResultCache.in_memory(decimals=cfg.cache_decimals)
+        elif cache.decimals != cfg.cache_decimals:
+            cfg = replace(cfg, cache_decimals=cache.decimals)
         return cls(
             config=cfg,
-            cache=ResultCache(decimals=cfg.cache_decimals),
+            cache=cache,
             ledger=RunLedger(ledger_path) if ledger_path is not None else None,
         )
 

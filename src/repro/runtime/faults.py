@@ -159,6 +159,48 @@ class FaultInjectingObjective(Objective):
             self._attempts.clear()
 
 
+class DelayObjective(Objective):
+    """Wrap an objective so every evaluation takes real wall time.
+
+    Pure pacing: values, identity (``cache_key``/``dim``/``bounds``) and
+    determinism are untouched — the wrapper just sleeps
+    ``delay_seconds`` per evaluated row before delegating.  The serve
+    kill/resume tests use it to hold a campaign mid-flight long enough to
+    SIGKILL the scheduler at a controlled point; the cached values still
+    match an undelayed run bitwise.
+    """
+
+    def __init__(self, inner: Objective, delay_seconds: float) -> None:
+        self._inner = require_objective(inner, "DelayObjective")
+        if delay_seconds < 0:
+            raise ValueError(
+                f"delay_seconds must be >= 0, got {delay_seconds}"
+            )
+        self.delay_seconds = float(delay_seconds)
+
+    @property
+    def dim(self) -> int:
+        return self._inner.dim
+
+    @property
+    def bounds(self) -> FloatArray | None:
+        return self._inner.bounds
+
+    @property
+    def cache_key(self) -> str:
+        return self._inner.cache_key
+
+    @property
+    def prefers_batch(self) -> bool:
+        return self._inner.prefers_batch
+
+    def evaluate(self, X: FloatArray) -> FloatArray:
+        X = np.asarray(X, dtype=float)
+        if self.delay_seconds > 0.0:
+            time.sleep(self.delay_seconds * max(1, X.shape[0]))
+        return self._inner.evaluate(X)
+
+
 class FaultInjectingTestbench:
     """A circuit testbench whose objectives inject deterministic faults.
 
@@ -184,6 +226,7 @@ class FaultInjectingTestbench:
 
 
 __all__ = [
+    "DelayObjective",
     "FaultInjectingObjective",
     "FaultInjectingTestbench",
     "FaultPlan",

@@ -228,7 +228,7 @@ def _verify_warm(
     decimals: int,
 ) -> None:
     """The resume path: ledger → preloaded cache → per-record lookups."""
-    cache = ResultCache(decimals=decimals)
+    cache = ResultCache.in_memory(decimals=decimals)
     cache.preload(
         {str(r["digest"]): float(r["y"]) for r in records}
     )
@@ -284,7 +284,7 @@ def _verify_cold(
     cfg = config if config is not None else BrokerConfig()
     cfg = replace(cfg, cache_decimals=decimals)
     broker = EvaluationBroker(
-        objective, config=cfg, cache=ResultCache(decimals=decimals)
+        objective, config=cfg, cache=ResultCache.in_memory(decimals=decimals)
     )
     digests = list(unique_x)
     X = np.stack([unique_x[d] for d in digests])

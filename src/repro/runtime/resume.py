@@ -81,13 +81,21 @@ class ResumeState:
 
 
 def resume(
-    ledger_path: str | Path, decimals: int = DEFAULT_DECIMALS
+    ledger_path: str | Path,
+    decimals: int = DEFAULT_DECIMALS,
+    cache: ResultCache | None = None,
 ) -> ResumeState:
     """Rebuild campaign state from a (possibly truncated) ledger file.
 
     ``decimals`` must match the interrupted run's ``cache_decimals`` so the
     preloaded digests address the same rounded points; the campaign header
     in the ledger records the original value.
+
+    ``cache`` preloads the completed evaluations into an *existing* cache
+    instead of a fresh in-memory one — the multi-campaign scheduler passes
+    its shared persistent store here, so one campaign's resumed results
+    immediately serve every other campaign (DESIGN.md §15).  The cache's
+    ``decimals`` must agree with ``decimals``.
 
     When the kill tore the final line, the fragment is dropped from the
     file so that the default append-in-place resume
@@ -104,7 +112,13 @@ def resume(
                 f"ledger was written with cache_decimals={recorded}, "
                 f"resume called with decimals={decimals}"
             )
-    cache = ResultCache(decimals=decimals)
+    if cache is None:
+        cache = ResultCache.in_memory(decimals=decimals)
+    elif cache.decimals != int(decimals):
+        raise ValueError(
+            f"shared cache uses decimals={cache.decimals}, resume called "
+            f"with decimals={decimals}"
+        )
     cache.preload(replay.completed)
     return ResumeState(replay=replay, cache=cache, ledger_path=Path(ledger_path))
 

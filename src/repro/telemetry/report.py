@@ -155,6 +155,87 @@ def reconcile_with_ledger(trace: Trace, ledger_path: str) -> list[str]:
     return lines
 
 
+def _final_run_evaluations(ledger_path: str) -> int:
+    """Evaluations the ledger's *final* run performed.
+
+    A resumed campaign's ledger holds the interrupted prefix plus the
+    resumed run appended in place, each run opening with its own
+    ``campaign`` header — only events after the last header belong to
+    the run the scheduler span measured.
+    """
+    from repro.runtime.ledger import read_ledger
+
+    events = read_ledger(ledger_path).events
+    last_header = 0
+    for i, event in enumerate(events):
+        if event.get("event") == "campaign":
+            last_header = i
+    return sum(
+        1
+        for event in events[last_header:]
+        if event.get("event") in ("completed", "cache_hit", "penalized")
+    )
+
+
+def scheduler_report(trace: Trace, runs_dir: str) -> str:
+    """Per-campaign queue wait / latency, reconciled against the ledgers.
+
+    One row per ``scheduled_campaign`` span; the ``ledger`` column
+    recounts the campaign's observations (``completed`` + ``cache_hit``
+    + ``penalized`` events of its final run) from
+    ``RUNS_DIR/<campaign>.jsonl`` and must match the span's recorded
+    ``n_evaluations``.
+    """
+    from pathlib import Path
+
+    body = []
+    for span in trace.named("scheduled_campaign"):
+        name = str(span.attrs.get("campaign", "?"))
+        wait = span.attrs.get("queue_wait_seconds")
+        n_evals = span.attrs.get("n_evaluations")
+        ledger_path = Path(runs_dir) / f"{name}.jsonl"
+        if ledger_path.exists():
+            from_ledger: int | str = _final_run_evaluations(str(ledger_path))
+        else:
+            from_ledger = "-"
+        agree = (
+            "ok"
+            if isinstance(from_ledger, int)
+            and isinstance(n_evals, (int, float))
+            and int(n_evals) == from_ledger
+            else "MISMATCH"
+        )
+        body.append(
+            [
+                name,
+                "yes" if span.attrs.get("resumed") else "no",
+                (
+                    format_duration(float(wait))
+                    if isinstance(wait, (int, float))
+                    else "-"
+                ),
+                format_duration(span.dt),
+                int(n_evals) if isinstance(n_evals, (int, float)) else "-",
+                from_ledger,
+                agree,
+            ]
+        )
+    body.sort(key=lambda row: str(row[0]))
+    return render_table(
+        [
+            "campaign",
+            "resumed",
+            "queue wait",
+            "latency",
+            "evals",
+            "ledger",
+            "reconciled",
+        ],
+        body,
+        title=f"Scheduled campaigns: {runs_dir}",
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.telemetry.report",
@@ -166,6 +247,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=None,
         help="optional RunLedger JSONL to reconcile evaluation counts against",
     )
+    parser.add_argument(
+        "--runs-dir",
+        default=None,
+        help=(
+            "scheduler runs directory: adds a per-campaign queue-wait/"
+            "latency section reconciled against each campaign's ledger"
+        ),
+    )
     args = parser.parse_args(argv)
     trace = read_trace(args.trace)
     print(render_report(trace, title=f"Campaign trace: {args.trace}"))
@@ -173,6 +262,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     if campaigns:
         wall = sum(s.dt for s in campaigns)
         print(f"\ncampaign wall clock: {format_duration(wall)}")
+    if args.runs_dir is not None:
+        print()
+        print(scheduler_report(trace, args.runs_dir))
     if args.ledger is not None:
         print()
         for line in reconcile_with_ledger(trace, args.ledger):

@@ -167,7 +167,7 @@ class TestLedgerUnderThreads:
 
 class TestCacheUnderThreads:
     def test_get_many_under_concurrent_writers(self):
-        cache = ResultCache()
+        cache = ResultCache.in_memory()
         digests = [f"digest-{k}" for k in range(512)]
         stop = threading.Event()
         reader_errors: list[BaseException] = []
@@ -200,7 +200,7 @@ class TestCacheUnderThreads:
         assert cache.get_many(digests) == [float(k) for k in range(512)]
 
     def test_hit_miss_accounting_is_exact(self):
-        cache = ResultCache()
+        cache = ResultCache.in_memory()
         cache.put("known", 1.0)
 
         def lookup(i: int) -> None:
@@ -274,7 +274,7 @@ class TestBrokerThreadCampaign:
         increment per point — with zero lost lines or increments.
         """
         ledger_path = tmp_path / "campaigns.jsonl"
-        cache = ResultCache()
+        cache = ResultCache.in_memory()
         telemetry = Telemetry(tracer=Tracer(), metrics=MetricsRegistry())
 
         def objective(x):

@@ -132,21 +132,29 @@ class TestResultCache:
         )
 
     def test_hit_miss_counting(self):
-        cache = ResultCache()
+        cache = ResultCache.in_memory()
         d = cache.key_for("k", np.array([1.0]))
         assert cache.get(d) is None
         cache.put(d, 3.5)
         assert cache.get(d) == 3.5
-        assert cache.stats == {"size": 1, "hits": 1, "misses": 1}
+        assert cache.stats == {
+            "size": 1, "hits": 1, "misses": 1, "evictions": 0
+        }
+
+    def test_bare_constructor_deprecated_but_working(self):
+        with pytest.warns(DeprecationWarning, match="in_memory"):
+            cache = ResultCache()
+        cache.put("d", 1.0)
+        assert cache.get("d") == 1.0
 
     def test_preload_does_not_count(self):
-        cache = ResultCache()
+        cache = ResultCache.in_memory()
         cache.preload({"abc": 1.0})
         assert len(cache) == 1 and cache.hits == 0 and cache.misses == 0
         assert "abc" in cache
 
     def test_pickles_by_value(self):
-        cache = ResultCache()
+        cache = ResultCache.in_memory()
         cache.put("d", 2.0)
         clone = pickle.loads(pickle.dumps(cache))
         assert clone.get("d") == 2.0
@@ -154,7 +162,7 @@ class TestResultCache:
 
     def test_rejects_negative_decimals(self):
         with pytest.raises(ValueError):
-            ResultCache(decimals=-1)
+            ResultCache.in_memory(decimals=-1)
 
     def test_batch_digests_match_point_digest(self):
         rng = np.random.default_rng(7)
@@ -166,18 +174,20 @@ class TestResultCache:
         assert digests[1] == digests[2]
 
     def test_keys_for_batch_respects_decimals(self):
-        cache = ResultCache(decimals=4)
+        cache = ResultCache.in_memory(decimals=4)
         X = np.array([[0.123456, -0.5]])
         assert cache.keys_for_batch("k", X) == [cache.key_for("k", X[0])]
         assert cache.keys_for_batch("k", X) != batch_digests("k", X)
 
     def test_get_many_counts_like_sequential_gets(self):
-        cache = ResultCache()
+        cache = ResultCache.in_memory()
         X = np.array([[1.0], [2.0], [3.0]])
         digests = cache.keys_for_batch("k", X)
         cache.put(digests[1], 4.5)
         assert cache.get_many(digests) == [None, 4.5, None]
-        assert cache.stats == {"size": 1, "hits": 1, "misses": 2}
+        assert cache.stats == {
+            "size": 1, "hits": 1, "misses": 2, "evictions": 0
+        }
 
 
 class TestRunLedger:

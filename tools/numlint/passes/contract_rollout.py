@@ -37,6 +37,7 @@ ROLLOUT_OPT_IN_FRAGMENTS = (
     "repro/runtime/",
     "repro/telemetry/",
     "repro/backends",
+    "repro/serve/",
 )
 
 
