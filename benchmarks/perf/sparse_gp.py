@@ -1,0 +1,226 @@
+"""Benchmark the sparse inducing-point GP against the exact GP at scale.
+
+Two sections:
+
+* ``equivalence`` — the m = n identity at small n: the sparse model's
+  posterior mean / variance and evidence must sit within 1e-8 of the
+  exact GP (the same gate ``tests/test_gp_sparse.py`` pins).
+* ``scaling`` — fit + predict wall time over n = 5 000 … 50 000 with a
+  fixed inducing budget m.  The exact GP is *calibrated* at small n and
+  its O(n³) time / O(n²) memory are projected to each target n; where the
+  projection exceeds the time budget or the Gram matrix would not fit,
+  the exact side is recorded as ``"skipped"`` with the reason — which at
+  these sizes is every row, and is precisely the regime the sparse path
+  exists for.
+
+Writes a JSON report (default ``BENCH_sparse_gp.json`` at the repo
+root).  ``--fast`` shrinks every section to smoke-test size for CI.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf/sparse_gp.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+
+import numpy as np
+
+from repro.gp.model import GaussianProcess
+from repro.gp.sparse import SparseGaussianProcess
+from repro.kernels.stationary import Matern52
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_REPO_ROOT = os.path.dirname(os.path.dirname(_HERE))
+
+#: Seconds the exact side may cost per n before it is skipped.
+EXACT_TIME_BUDGET = 5.0
+
+#: Bytes the exact Gram matrix may occupy before it is skipped.
+EXACT_MEMORY_BUDGET = 2 << 30  # 2 GiB
+
+
+def _dataset(n, dim, seed):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1.0, 1.0, size=(n, dim))
+    y = (
+        np.sin(3.0 * X[:, 0])
+        + 0.5 * np.cos(2.0 * X[:, 1]) * X[:, 2]
+        + 0.05 * rng.standard_normal(n)
+    )
+    return X, y
+
+
+def run_equivalence(fast):
+    """The m = n identity, measured rather than asserted."""
+    n = 80 if fast else 300
+    dim = 6
+    X, y = _dataset(n, dim, seed=0)
+    X_test = _dataset(200, dim, seed=1)[0]
+    exact = GaussianProcess(
+        Matern52(dim=dim, ard=True), noise_variance=1e-4
+    ).fit(X, y)
+    sparse = SparseGaussianProcess(
+        Matern52(dim=dim, ard=True), noise_variance=1e-4, m=n
+    ).fit(X, y)
+    pe, ps = exact.predict(X_test), sparse.predict(X_test)
+    return {
+        "n": n,
+        "dim": dim,
+        "max_mean_gap": float(np.max(np.abs(ps.mean - pe.mean))),
+        "max_variance_gap": float(np.max(np.abs(ps.variance - pe.variance))),
+        "evidence_gap": abs(
+            sparse.log_marginal_likelihood() - exact.log_marginal_likelihood()
+        ),
+        "tolerance": 1e-8,
+    }
+
+
+def _calibrate_exact(dim, fast):
+    """Measured exact-GP fit times at small n, for cubic projection."""
+    sizes = (300, 600) if fast else (1000, 2000)
+    points = []
+    for n in sizes:
+        X, y = _dataset(n, dim, seed=2)
+        gp = GaussianProcess(Matern52(dim=dim, ard=True), noise_variance=1e-4)
+        t0 = time.perf_counter()
+        gp.fit(X, y)
+        points.append({"n": n, "seconds": round(time.perf_counter() - t0, 4)})
+    # cubic model t(n) = c n^3 from the largest calibration point
+    ref = points[-1]
+    coeff = ref["seconds"] / ref["n"] ** 3
+    return points, coeff
+
+
+def _exact_side(n, coeff):
+    """Projected exact cost at n; a skip record when over budget."""
+    projected = coeff * n**3
+    gram_bytes = 8 * n * n
+    if gram_bytes > EXACT_MEMORY_BUDGET:
+        return {
+            "status": "skipped",
+            "reason": (
+                f"Gram matrix would need {gram_bytes / 2**30:.1f} GiB "
+                f"(budget {EXACT_MEMORY_BUDGET / 2**30:.0f} GiB)"
+            ),
+            "projected_seconds": round(projected, 2),
+        }
+    if projected > EXACT_TIME_BUDGET:
+        return {
+            "status": "skipped",
+            "reason": (
+                f"projected fit time {projected:.1f}s exceeds the "
+                f"{EXACT_TIME_BUDGET:.0f}s budget"
+            ),
+            "projected_seconds": round(projected, 2),
+        }
+    return {"status": "eligible", "projected_seconds": round(projected, 2)}
+
+
+def run_scaling(fast):
+    dim = 8
+    m = 128 if fast else 256
+    sizes = (1500, 3000) if fast else (5000, 10000, 20000, 50000)
+    n_test = 500 if fast else 2000
+    calibration, coeff = _calibrate_exact(dim, fast)
+    X_test = _dataset(n_test, dim, seed=3)[0]
+    rows = []
+    for n in sizes:
+        X, y = _dataset(n, dim, seed=4)
+        gp = SparseGaussianProcess(
+            Matern52(dim=dim, ard=True), noise_variance=1e-4, m=m
+        )
+        t0 = time.perf_counter()
+        gp.fit(X, y)
+        fit_seconds = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        pred = gp.predict(X_test)
+        predict_seconds = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        gp.log_marginal_likelihood()
+        evidence_seconds = time.perf_counter() - t0
+        exact = _exact_side(n, coeff)
+        if exact["status"] == "eligible":
+            ref = GaussianProcess(
+                Matern52(dim=dim, ard=True), noise_variance=1e-4
+            )
+            t0 = time.perf_counter()
+            ref.fit(X, y)
+            exact["fit_seconds"] = round(time.perf_counter() - t0, 4)
+            if exact["fit_seconds"] > EXACT_TIME_BUDGET:
+                # the cubic projection undershot; record the blown budget
+                exact["status"] = "timed_out"
+                exact["reason"] = (
+                    f"measured fit time {exact['fit_seconds']:.1f}s exceeds "
+                    f"the {EXACT_TIME_BUDGET:.0f}s budget"
+                )
+        rows.append(
+            {
+                "n": n,
+                "m": gp.n_inducing,
+                "sparse": {
+                    "fit_seconds": round(fit_seconds, 4),
+                    "predict_seconds": round(predict_seconds, 4),
+                    "evidence_seconds": round(evidence_seconds, 4),
+                    "mean_predictive_std": round(
+                        float(np.mean(pred.std)), 6
+                    ),
+                },
+                "exact": exact,
+            }
+        )
+    return {
+        "dim": dim,
+        "m": m,
+        "n_test": n_test,
+        "exact_time_budget_seconds": EXACT_TIME_BUDGET,
+        "exact_calibration": calibration,
+        "rows": rows,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fast", action="store_true", help="smoke-test sizes for CI"
+    )
+    parser.add_argument(
+        "--out",
+        default=os.path.join(_REPO_ROOT, "BENCH_sparse_gp.json"),
+        help="report path (default: BENCH_sparse_gp.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    report = {
+        "meta": {
+            "date": time.strftime("%Y-%m-%d %H:%M:%S"),
+            "fast": bool(args.fast),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+        "equivalence": run_equivalence(args.fast),
+        "scaling": run_scaling(args.fast),
+    }
+    ok = (
+        report["equivalence"]["max_mean_gap"]
+        <= report["equivalence"]["tolerance"]
+    )
+    report["equivalence"]["within_tolerance"] = bool(ok)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=1)
+        fh.write("\n")
+    print(json.dumps(report, indent=1))
+    print(f"\nreport written to {args.out}")
+    if not ok:
+        raise SystemExit("equivalence gate failed")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,14 +12,14 @@ import abc
 
 import numpy as np
 
-from repro.gp.model import GaussianProcess
+from repro.gp.surrogate import SurrogateModel
 from repro.utils.validation import as_matrix
 
 
 class AcquisitionFunction(abc.ABC):
     """A sampling criterion built on a fitted GP surrogate."""
 
-    def __init__(self, gp: GaussianProcess) -> None:
+    def __init__(self, gp: SurrogateModel) -> None:
         if not gp.is_fitted:
             raise RuntimeError("acquisition functions require a fitted GP")
         self.gp = gp

@@ -15,7 +15,7 @@ from scipy.stats import norm
 
 from repro._typing import ArrayLike, FloatArray
 from repro.acquisition.base import AcquisitionFunction
-from repro.gp.model import GaussianProcess
+from repro.gp.surrogate import SurrogateModel
 from repro.utils.contracts import shape_contract
 from repro.utils.validation import as_matrix
 
@@ -26,7 +26,7 @@ _MIN_STD = 1e-12
 class ProbabilityOfImprovement(AcquisitionFunction):
     """Negated probability of improving below the incumbent minus ``xi``."""
 
-    def __init__(self, gp: GaussianProcess, xi: float = 0.0) -> None:
+    def __init__(self, gp: SurrogateModel, xi: float = 0.0) -> None:
         super().__init__(gp)
         if xi < 0:
             raise ValueError(f"xi must be non-negative, got {xi}")
@@ -43,7 +43,7 @@ class ProbabilityOfImprovement(AcquisitionFunction):
 class ExpectedImprovement(AcquisitionFunction):
     """Negated expected improvement below the incumbent minus ``xi``."""
 
-    def __init__(self, gp: GaussianProcess, xi: float = 0.0) -> None:
+    def __init__(self, gp: SurrogateModel, xi: float = 0.0) -> None:
         super().__init__(gp)
         if xi < 0:
             raise ValueError(f"xi must be non-negative, got {xi}")
@@ -64,7 +64,7 @@ class ExpectedImprovement(AcquisitionFunction):
 class LowerConfidenceBound(AcquisitionFunction):
     """``μ(x) − κ σ(x)``, minimized directly."""
 
-    def __init__(self, gp: GaussianProcess, kappa: float = 2.0) -> None:
+    def __init__(self, gp: SurrogateModel, kappa: float = 2.0) -> None:
         super().__init__(gp)
         if kappa < 0:
             raise ValueError(f"kappa must be non-negative, got {kappa}")
@@ -79,7 +79,7 @@ class LowerConfidenceBound(AcquisitionFunction):
 class WeightedAcquisition(AcquisitionFunction):
     """The pBO acquisition of Eq. 9: ``(1 − w) μ(x) − w σ(x)``."""
 
-    def __init__(self, gp: GaussianProcess, weight: float) -> None:
+    def __init__(self, gp: SurrogateModel, weight: float) -> None:
         super().__init__(gp)
         if not 0.0 <= weight <= 1.0:
             raise ValueError(f"weight must lie in [0, 1], got {weight}")
@@ -107,7 +107,7 @@ class MultiWeightAcquisition:
     receives the slice of the union scored under *its* weight.
     """
 
-    def __init__(self, gp: GaussianProcess, weights: ArrayLike) -> None:
+    def __init__(self, gp: SurrogateModel, weights: ArrayLike) -> None:
         if not gp.is_fitted:
             raise RuntimeError("acquisition functions require a fitted GP")
         w = np.asarray(weights, dtype=float).ravel()

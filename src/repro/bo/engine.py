@@ -8,14 +8,23 @@ live here.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.gp.hyperopt import HyperoptResult, fit_hyperparameters
-from repro.gp.model import GaussianProcess
 from repro.gp.standardize import Standardizer
+from repro.gp.surrogate import (
+    KernelFactory,
+    SurrogateLike,
+    SurrogateModel,
+    SurrogateSpec,
+    coerce_surrogate_spec,
+    make_surrogate,
+    surrogate_kind_of,
+)
 from repro.kernels.stationary import Matern52
 from repro.optim.base import Optimizer
 from repro.runtime.objective import Objective, resolve_bounds  # noqa: F401 — engine-facing re-export
@@ -28,7 +37,6 @@ if TYPE_CHECKING:
     from repro.bo.records import RunResult
     from repro.runtime.broker import RuntimePolicy
 
-KernelFactory = Callable[[int], object]
 OptimizerFactory = Callable[[int], Optimizer]
 
 
@@ -58,6 +66,14 @@ class RunSpec:
         Failure threshold ``T`` (minimization orientation: ``y < T``).
     initial_data:
         Precomputed ``(X0, y0)`` shared across methods, as in the paper.
+    surrogate:
+        Which surrogate model the run should use: a
+        :class:`~repro.gp.surrogate.SurrogateSpec`, a kind string
+        (``"exact"`` / ``"sparse"`` / ``"auto"``), or a mapping of spec
+        fields (``{"kind": "sparse", "m": 256}``).  ``None`` defers to the
+        engine's own ``surrogate=`` default.  Normalized to a
+        ``SurrogateSpec`` at construction, so invalid kinds fail here with
+        an error naming the allowed ones.
     """
 
     bounds: object | None = None
@@ -66,6 +82,7 @@ class RunSpec:
     n_batches: int | None = None
     threshold: float | None = None
     initial_data: tuple[np.ndarray, np.ndarray] | None = None
+    surrogate: SurrogateLike = field(default=None, kw_only=True)
 
     def __post_init__(self) -> None:
         if self.n_init < 1:
@@ -74,6 +91,9 @@ class RunSpec:
             raise ValueError(f"budget must be >= 1, got {self.budget}")
         if self.n_batches is not None and self.n_batches < 0:
             raise ValueError(f"n_batches must be >= 0, got {self.n_batches}")
+        object.__setattr__(
+            self, "surrogate", coerce_surrogate_spec(self.surrogate)
+        )
 
 
 @runtime_checkable
@@ -110,6 +130,12 @@ def annotate_gp_fit(span, manager: "SurrogateManager") -> None:
     recorded.
     """
     span.set("tuned", manager.last_refit_tuned)
+    model = manager.model
+    if model is not None:
+        span.set("surrogate", surrogate_kind_of(model))
+        n_inducing = getattr(model, "n_inducing", None)
+        if n_inducing is not None:
+            span.set("n_inducing", int(n_inducing))
     if manager.last_refit_tuned and manager.last_hyperopt is not None:
         hyper = manager.last_hyperopt
         span.set("lml", float(hyper.log_marginal_likelihood))
@@ -132,18 +158,25 @@ def uniform_initial_design(
 
 
 class SurrogateManager:
-    """Owns the GP surrogate: standardization, refits and tuning cadence.
+    """Owns the surrogate model: standardization, refits, tuning cadence.
 
     Parameters
     ----------
     dim:
-        Dimensionality the GP operates in (D for plain BO, d for REMBO).
+        Dimensionality the surrogate operates in (D for plain BO, d for
+        REMBO).
     kernel_factory / noise_variance:
         Surrogate construction knobs.
     tune_every:
         Re-optimize hyperparameters every ``tune_every`` refits (1 = always).
     n_restarts:
         Multi-start count for each hyperparameter fit.
+    surrogate:
+        Which surrogate to build (spec / kind string / field mapping, see
+        :func:`~repro.gp.surrogate.make_surrogate`).  ``"auto"`` starts
+        exact and rebuilds as sparse once the dataset crosses the spec's
+        ``switch_at`` threshold; tuned hyperparameters carry across the
+        switch.
     """
 
     def __init__(
@@ -154,6 +187,7 @@ class SurrogateManager:
         tune_every: int = 1,
         n_restarts: int = 2,
         seed: SeedLike = None,
+        surrogate: SurrogateLike = None,
     ) -> None:
         if dim < 1:
             raise ValueError(f"dim must be >= 1, got {dim}")
@@ -166,7 +200,10 @@ class SurrogateManager:
         self.n_restarts = int(n_restarts)
         self._rng = as_generator(seed)
         self.standardizer = Standardizer()
-        self.gp: GaussianProcess | None = None
+        self.surrogate_spec: SurrogateSpec = (
+            coerce_surrogate_spec(surrogate) or SurrogateSpec()
+        )
+        self.model: SurrogateModel | None = None
         self._refit_count = 0
         #: Result of the most recent hyperparameter search (telemetry reads
         #: this to attribute LML/restart/feval counts to the gp_fit span).
@@ -174,13 +211,49 @@ class SurrogateManager:
         #: Whether the most recent :meth:`refit` ran a hyperparameter search.
         self.last_refit_tuned = False
 
-    def refit(self, X, y) -> GaussianProcess:
+    @property
+    def gp(self) -> SurrogateModel | None:
+        """Deprecated alias for :attr:`model` (pre-surrogate-API name)."""
+        warnings.warn(
+            "SurrogateManager.gp is deprecated and will be removed in the "
+            "next release; use SurrogateManager.model",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.model
+
+    def _ensure_model(self, n: int) -> SurrogateModel:
+        """The surrogate for an ``n``-point fit, rebuilt on a kind switch.
+
+        ``kind="auto"`` resolves against ``n`` on every refit; crossing the
+        ``switch_at`` threshold swaps the exact model for a sparse one (the
+        spec never switches back — ``n`` only grows along a run).  Tuned
+        hyperparameters transplant onto the replacement so the switch does
+        not discard the hyperopt state accumulated so far.
+        """
+        kind = self.surrogate_spec.resolve_kind(n)
+        model = self.model
+        if model is not None and surrogate_kind_of(model) == kind:
+            return model
+        replacement = make_surrogate(
+            self.surrogate_spec,
+            self.dim,
+            kernel_factory=self._kernel_factory,
+            noise_variance=self._noise_variance,
+            n=n,
+        )
+        if model is not None:
+            replacement.theta = model.theta
+        self.model = replacement
+        return replacement
+
+    def refit(self, X, y) -> SurrogateModel:
         """(Re)train the surrogate on the full dataset in model space.
 
         When ``X`` extends the previously fitted inputs (the BO engines
-        always append), the new rows enter through the GP's incremental
-        rank-k Cholesky update and only the labels — re-standardized over
-        the grown dataset — are resolved against the existing factorization;
+        always append), the new rows enter through the model's incremental
+        update and only the labels — re-standardized over the grown
+        dataset — are resolved against the existing factorization;
         otherwise the surrogate is refit from scratch.  Scheduled
         hyperparameter tuning always ends in an exact refit at the winning
         theta.
@@ -188,29 +261,24 @@ class SurrogateManager:
         X = as_matrix(X, self.dim)
         y = as_vector(y, X.shape[0])
         y_std = self.standardizer.fit_transform(y)
-        gp = self.gp
-        if gp is None:
-            gp = self.gp = GaussianProcess(
-                self._kernel_factory(self.dim),
-                noise_variance=self._noise_variance,
-            )
-        n_prev = gp.n_train
+        model = self._ensure_model(X.shape[0])
+        n_prev = model.n_train
         if (
-            gp.is_fitted
+            model.is_fitted
             and X.shape[0] >= n_prev
-            and np.array_equal(X[:n_prev], gp.X_train)
+            and np.array_equal(X[:n_prev], model.X_train)
         ):
             if X.shape[0] > n_prev:
-                gp.add_data(X[n_prev:], y_std[n_prev:])
-            gp.set_labels(y_std)
+                model.add_data(X[n_prev:], y_std[n_prev:])
+            model.set_labels(y_std)
         else:
-            gp.fit(X, y_std)
+            model.fit(X, y_std)
         if self._refit_count % self.tune_every == 0:
             self.last_hyperopt = fit_hyperparameters(
-                gp, n_restarts=self.n_restarts, seed=self._rng
+                model, n_restarts=self.n_restarts, seed=self._rng
             )
             self.last_refit_tuned = True
         else:
             self.last_refit_tuned = False
         self._refit_count += 1
-        return gp
+        return model

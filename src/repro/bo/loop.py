@@ -18,13 +18,17 @@ from repro.acquisition.functions import (
 )
 from repro.acquisition.optimize import default_acquisition_optimizer
 from repro.bo.engine import (
-    KernelFactory,
     OptimizerFactory,
     RunSpec,
     SurrogateManager,
     annotate_gp_fit,
     resolve_bounds,
     uniform_initial_design,
+)
+from repro.gp.surrogate import (
+    KernelFactory,
+    SurrogateLike,
+    coerce_surrogate_spec,
 )
 from repro.bo.records import RunRecorder, RunResult
 from repro.runtime.broker import RuntimePolicy, make_broker
@@ -56,6 +60,9 @@ class SequentialBO:
         Acquisition hyperparameters (improvement margin; LCB weight).
     kernel_factory / noise_variance / tune_every / n_restarts:
         Surrogate knobs, see :class:`SurrogateManager`.
+    surrogate:
+        Engine-level surrogate choice (spec / kind string / mapping);
+        ``spec.surrogate`` on an individual run overrides it.
     acquisition_optimizer_factory:
         Builds the inner optimizer for a given dimension; defaults to the
         paper's DIRECT-L + COBYLA stack.
@@ -76,6 +83,8 @@ class SequentialBO:
         acquisition_optimizer_factory: OptimizerFactory | None = None,
         stop_on_failure: bool = False,
         seed: SeedLike = None,
+        *,
+        surrogate: SurrogateLike = None,
     ) -> None:
         if acquisition not in ACQUISITIONS:
             raise ValueError(
@@ -88,6 +97,7 @@ class SequentialBO:
         self.noise_variance = float(noise_variance)
         self.tune_every = int(tune_every)
         self.n_restarts = int(n_restarts)
+        self.surrogate = coerce_surrogate_spec(surrogate)
         self.acquisition_optimizer_factory = (
             acquisition_optimizer_factory or default_acquisition_optimizer
         )
@@ -165,6 +175,9 @@ class SequentialBO:
             tune_every=self.tune_every,
             n_restarts=self.n_restarts,
             seed=rng_model,
+            surrogate=(
+                spec.surrogate if spec.surrogate is not None else self.surrogate
+            ),
         )
         build = ACQUISITIONS[self.acquisition]
 

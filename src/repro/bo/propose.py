@@ -35,7 +35,7 @@ from repro.acquisition.optimize import (
     supports_local_lockstep,
     supports_lockstep,
 )
-from repro.gp.model import GaussianProcess
+from repro.gp.surrogate import SurrogateModel
 from repro.telemetry.profile import profiled
 from repro.utils.contracts import shape_contract
 from repro.utils.parallel import parallel_map
@@ -122,7 +122,7 @@ def _search_task(task) -> tuple[np.ndarray, int]:
 @profiled("bo.propose_batch")
 @shape_contract("weights: a(n_w,), bounds: a(d, 2) | a(2, d)")
 def propose_batch(
-    gp: GaussianProcess,
+    gp: SurrogateModel,
     weights,
     bounds,
     optimizer_factory=None,

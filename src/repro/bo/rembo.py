@@ -26,13 +26,17 @@ import numpy as np
 from repro.acquisition.functions import pbo_weights
 from repro.acquisition.optimize import default_acquisition_optimizer
 from repro.bo.engine import (
-    KernelFactory,
     OptimizerFactory,
     RunSpec,
     SurrogateManager,
     annotate_gp_fit,
     resolve_bounds,
     uniform_initial_design,
+)
+from repro.gp.surrogate import (
+    KernelFactory,
+    SurrogateLike,
+    coerce_surrogate_spec,
 )
 from repro.bo.propose import propose_batch
 from repro.bo.records import RunRecorder, RunResult
@@ -69,6 +73,9 @@ class RemboBO:
         ``embedding_dim`` is None.
     weights:
         Preset pBO weights; defaults to an even ladder over [0, 1].
+    surrogate:
+        Engine-level surrogate choice (spec / kind string / mapping);
+        ``spec.surrogate`` on an individual run overrides it.
     stop_on_failure:
         Terminate at the end of the first batch containing a failure.
     """
@@ -89,6 +96,8 @@ class RemboBO:
         stop_on_failure: bool = False,
         seed: SeedLike = None,
         n_jobs: int = 1,
+        *,
+        surrogate: SurrogateLike = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -114,6 +123,7 @@ class RemboBO:
         self.noise_variance = float(noise_variance)
         self.tune_every = int(tune_every)
         self.n_restarts = int(n_restarts)
+        self.surrogate = coerce_surrogate_spec(surrogate)
         self.acquisition_optimizer_factory = (
             acquisition_optimizer_factory or default_acquisition_optimizer
         )
@@ -217,6 +227,9 @@ class RemboBO:
             tune_every=self.tune_every,
             n_restarts=self.n_restarts,
             seed=rng_model,
+            surrogate=(
+                spec.surrogate if spec.surrogate is not None else self.surrogate
+            ),
         )
         recorder.model_dim = d
 

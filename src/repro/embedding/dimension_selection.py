@@ -22,18 +22,26 @@ from repro.utils.contracts import shape_contract
 from repro.gp.hyperopt import fit_hyperparameters
 from repro.gp.model import GaussianProcess
 from repro.gp.standardize import Standardizer
+from repro.gp.surrogate import SurrogateModel, make_surrogate
 from repro.kernels.stationary import Matern52
 from repro.utils.rng import SeedLike, as_generator, spawn
 from repro.utils.validation import as_matrix, as_vector
 
 
-def default_gp_factory(dim: int) -> GaussianProcess:
+def default_gp_factory(dim: int) -> SurrogateModel:
     """The library-default surrogate: Matérn-5/2 with isotropic lengthscale.
 
     Isotropic (non-ARD) keeps the per-dimension GP fit cheap, matching the
-    "small amount of data" regime Algorithm 2 is meant for.
+    "small amount of data" regime Algorithm 2 is meant for.  Routed through
+    :func:`~repro.gp.surrogate.make_surrogate` like every other
+    engine-internal construction path.
     """
-    return GaussianProcess(Matern52(dim=dim), noise_variance=1e-4)
+    return make_surrogate(
+        "exact",
+        dim,
+        kernel_factory=lambda d: Matern52(dim=d),
+        noise_variance=1e-4,
+    )
 
 
 @dataclass
@@ -104,7 +112,7 @@ def select_embedding_dimension(
     y: ArrayLike,
     dims: Sequence[int] | None = None,
     n_trials: int = 5,
-    gp_factory: Callable[[int], GaussianProcess] | None = None,
+    gp_factory: Callable[[int], SurrogateModel] | None = None,
     criterion: str = "training_mse",
     tolerance: float = 0.1,
     tune_hyperparameters: bool = True,
@@ -164,9 +172,16 @@ def select_embedding_dimension(
             if tune_hyperparameters:
                 fit_hyperparameters(gp, n_restarts=2, seed=trial_rng)
             if criterion == "loo":
+                if not isinstance(gp, GaussianProcess):
+                    raise TypeError(
+                        "criterion='loo' needs the exact GaussianProcess "
+                        "(the LOO identity reads the full posterior "
+                        f"precision); factory built {type(gp).__name__}"
+                    )
                 trial_mse[i] = gp.loo_mse()
             else:
-                trial_mse[i] = gp.training_mse()
+                pred = gp.predict(Z)
+                trial_mse[i] = float(np.mean((pred.mean - y_std) ** 2))
         mse_per_dim[j] = float(np.mean(trial_mse))
 
     selected = pick_flat_dimension(dims, mse_per_dim, tolerance=tolerance)

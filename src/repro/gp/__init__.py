@@ -3,17 +3,37 @@
 from repro.gp.evaluator import MarginalLikelihoodEvaluator
 from repro.gp.hyperopt import HyperoptResult, fit_hyperparameters
 from repro.gp.mean import ConstantMean, MeanFunction, ZeroMean
-from repro.gp.model import GaussianProcess, GPPrediction
+from repro.gp.model import GaussianProcess, GPPrediction, symmetrize
+from repro.gp.sparse import SparseGaussianProcess, select_inducing_points
 from repro.gp.standardize import Standardizer
+from repro.gp.surrogate import (
+    SURROGATE_KINDS,
+    SurrogateLike,
+    SurrogateModel,
+    SurrogateSpec,
+    coerce_surrogate_spec,
+    make_surrogate,
+    surrogate_kind_of,
+)
 
 __all__ = [
     "GaussianProcess",
     "GPPrediction",
     "MarginalLikelihoodEvaluator",
+    "SURROGATE_KINDS",
+    "SparseGaussianProcess",
+    "SurrogateLike",
+    "SurrogateModel",
+    "SurrogateSpec",
+    "coerce_surrogate_spec",
     "fit_hyperparameters",
     "HyperoptResult",
+    "make_surrogate",
     "MeanFunction",
     "ZeroMean",
     "ConstantMean",
+    "select_inducing_points",
     "Standardizer",
+    "surrogate_kind_of",
+    "symmetrize",
 ]

@@ -5,22 +5,27 @@ gradient of Eq. 8.  Restart count is deliberately small — the paper notes GP
 hyperparameter tuning is itself a cost center (Section 3), so the default
 mirrors a practical BO inner loop rather than an exhaustive fit.
 
-By default each trial theta is scored through a
+The search accepts any :class:`~repro.gp.surrogate.SurrogateModel`.  An
+exact :class:`~repro.gp.model.GaussianProcess` is scored through a
 :class:`~repro.gp.evaluator.MarginalLikelihoodEvaluator`, which fuses the
 likelihood value and gradient into one evaluation over a cached kernel
-workspace and never mutates the GP mid-search; the legacy path that refits
-the GP per evaluation is kept behind ``fused=False`` as a reference.
+workspace and never mutates the GP mid-search; other surrogates that expose
+a side-effect-free ``evaluate_theta`` (the sparse GP's variational bound)
+are scored through that, and the legacy path that refits the model per
+evaluation is kept behind ``fused=False`` as a reference.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 from scipy.optimize import minimize
 
 from repro.gp.evaluator import MarginalLikelihoodEvaluator
 from repro.gp.model import GaussianProcess
+from repro.gp.surrogate import SurrogateModel
 from repro.telemetry.profile import profiled
 from repro.utils.rng import SeedLike, as_generator
 
@@ -37,7 +42,7 @@ class HyperoptResult:
 
 @profiled("gp.hyperopt.fit")
 def fit_hyperparameters(
-    gp: GaussianProcess,
+    gp: SurrogateModel,
     n_restarts: int = 3,
     seed: SeedLike = None,
     max_iter: int = 100,
@@ -46,14 +51,16 @@ def fit_hyperparameters(
     """Fit ``gp``'s hyperparameters in place and return the best result.
 
     The first start is the current hyperparameter vector; the remaining
-    starts are drawn uniformly inside the log-space bounds.  The GP is left
-    conditioned at the best hyperparameters found.
+    starts are drawn uniformly inside the log-space bounds.  The model is
+    left conditioned at the best hyperparameters found.
 
-    ``fused=True`` (default) scores trial points with a
-    :class:`MarginalLikelihoodEvaluator` — one Cholesky and one ``K⁻¹``
-    per evaluation over a cached workspace, no GP mutation until the winner
-    is committed.  ``fused=False`` uses the original refit-per-evaluation
-    path (kept as a numerical reference).
+    With ``fused=True`` (default) trial points are scored without mutating
+    the model: an exact :class:`GaussianProcess` goes through a
+    :class:`MarginalLikelihoodEvaluator` (one Cholesky and one ``K⁻¹`` per
+    evaluation over a cached workspace), and any other surrogate exposing
+    ``evaluate_theta(theta) -> (lml, grad)`` is scored through that hook.
+    ``fused=False`` uses the original refit-per-evaluation path (kept as a
+    numerical reference).
     """
     if not gp.is_fitted:
         raise RuntimeError("fit the GP on data before tuning hyperparameters")
@@ -63,14 +70,21 @@ def fit_hyperparameters(
     bounds = gp.theta_bounds()
     lower, upper = bounds[:, 0], bounds[:, 1]
     evaluations = 0
-    evaluator = MarginalLikelihoodEvaluator(gp) if fused else None
+    evaluate: Callable[[np.ndarray], tuple[float, np.ndarray]] | None = None
+    if fused:
+        if isinstance(gp, GaussianProcess):
+            evaluate = MarginalLikelihoodEvaluator(gp).evaluate
+        else:
+            hook = getattr(gp, "evaluate_theta", None)
+            if callable(hook):
+                evaluate = hook
 
     def objective(theta: np.ndarray) -> tuple[float, np.ndarray]:
         nonlocal evaluations
         evaluations += 1
-        if evaluator is not None:
+        if evaluate is not None:
             try:
-                lml, grad = evaluator.evaluate(theta)
+                lml, grad = evaluate(theta)
             except np.linalg.LinAlgError:
                 return 1e25, np.zeros_like(theta)
             if not np.isfinite(lml):

@@ -64,6 +64,24 @@ def chol_with_jitter(A: np.ndarray) -> np.ndarray:
     ) from last_error
 
 
+@shape_contract("cov: (n, n) -> (n, n)")
+def symmetrize(cov: FloatArray, jitter: float = 0.0) -> FloatArray:
+    """Return ``½(C + Cᵀ)`` plus optional diagonal jitter.
+
+    Posterior covariances assembled as ``K** − vᵀv`` (exact) or
+    ``K** − vᵀv + wᵀw`` (sparse) are symmetric only up to floating-point
+    round-off, and ``rng.multivariate_normal(..., method="cholesky")`` is
+    exactly the kind of consumer that trips on the asymmetric low-order
+    bits.  Every covariance-returning path shares this one helper so the
+    PSD hygiene cannot drift between implementations.
+    """
+    out = 0.5 * (cov + cov.T)
+    if jitter:
+        diag = np.einsum("ii->i", out)
+        diag += jitter
+    return out
+
+
 @shape_contract("chol: (n, n) -> (n, n)")
 def inv_from_cholesky(chol: np.ndarray) -> np.ndarray:
     """Full inverse ``A^{-1}`` from the lower Cholesky factor of ``A``.
@@ -327,14 +345,14 @@ class GaussianProcess:
         mean = self.mean(X_arr) + k_star.T @ self._alpha
         v = solve_triangular(self._chol, k_star, lower=True, check_finite=False)
         cov = self.kernel(X_arr) - v.T @ v
-        return mean, cov
+        return mean, symmetrize(cov)
 
     def sample_posterior(
         self, X: ArrayLike, n_samples: int, rng: np.random.Generator
     ) -> FloatArray:
         """Draw joint posterior samples; returns shape ``(n_samples, n_test)``."""
         mean, cov = self.predict_cov(X)
-        cov = cov + 1e-10 * np.eye(cov.shape[0])
+        cov = symmetrize(cov, jitter=1e-10)
         return rng.multivariate_normal(mean, cov, size=n_samples, method="cholesky")
 
     # -- evidence ----------------------------------------------------------------

@@ -17,14 +17,19 @@ Job schema (all keys optional except ``name``, ``testbench``,
       "measure": "delta_vthl",        // testbench measure name
       "engine": {"kind": "rembo", "batch_size": 4, "seed": 7},
       "run": {"n_init": 6, "n_batches": 2, "threshold": "auto"},
+      "surrogate": {"kind": "sparse", "m": 256},  // or just "sparse"
       "faults": {"failure_rate": 0.2},   // optional FaultPlan knobs
       "eval_delay_seconds": 0.05         // optional pacing (kill tests)
     }
 
 ``threshold: "auto"`` resolves to the testbench's specified threshold
-for ``measure``.  Engines are registered as *factories*: every
-(re)submission constructs a pristine solver, which is what makes
-``--resume`` replay an interrupted campaign bitwise.
+for ``measure``.  ``surrogate`` picks the GP surrogate — a kind string
+(``"exact"`` / ``"sparse"`` / ``"auto"``) or a table of
+:class:`~repro.gp.surrogate.SurrogateSpec` fields; it is validated at
+load time so a typo'd kind rejects the job file, not the running
+campaign.  Engines are registered as *factories*: every (re)submission
+constructs a pristine solver, which is what makes ``--resume`` replay
+an interrupted campaign bitwise.
 """
 
 from __future__ import annotations
@@ -38,6 +43,7 @@ from repro.bo.engine import EngineProtocol, RunSpec
 from repro.bo.loop import SequentialBO
 from repro.bo.rembo import RemboBO
 from repro.campaign import CampaignSpec
+from repro.gp.surrogate import coerce_surrogate_spec
 from repro.runtime.faults import (
     DelayObjective,
     FaultInjectingObjective,
@@ -103,6 +109,7 @@ def build_spec(payload: dict[str, Any]) -> CampaignSpec:
         "measure",
         "engine",
         "run",
+        "surrogate",
         "faults",
         "eval_delay_seconds",
     }
@@ -135,6 +142,10 @@ def build_spec(payload: dict[str, Any]) -> CampaignSpec:
         run_cfg["threshold"] = bench.threshold(measure)
     run_spec = RunSpec(bounds=bench.bounds(), **run_cfg)
 
+    # fail fast on a bad surrogate table: coercion raises the ValueError
+    # naming the allowed kinds before the job enters the queue
+    surrogate = coerce_surrogate_spec(payload.get("surrogate"))
+
     return CampaignSpec(
         objective=objective,
         engine=_engine_factory(engine_cfg, seed),
@@ -142,6 +153,7 @@ def build_spec(payload: dict[str, Any]) -> CampaignSpec:
         seed=seed,
         name=str(name),
         priority=int(payload.get("priority", 0)),
+        surrogate=surrogate,
     )
 
 

@@ -56,10 +56,17 @@ class TestSurrogateManager:
         X = rng.uniform(-1, 1, (8, 2))
         y = rng.standard_normal(8)
         manager.refit(X, y)
-        theta_after_first = manager.gp.theta.copy()
+        theta_after_first = manager.model.theta.copy()
         # second refit (cadence 2) must not re-tune: same theta
         manager.refit(X, y)
-        np.testing.assert_allclose(manager.gp.theta, theta_after_first)
+        np.testing.assert_allclose(manager.model.theta, theta_after_first)
+
+    def test_gp_property_deprecated(self, rng):
+        manager = SurrogateManager(2, seed=0)
+        manager.refit(rng.uniform(-1, 1, (8, 2)), rng.standard_normal(8))
+        with pytest.warns(DeprecationWarning, match="SurrogateManager.model"):
+            legacy = manager.gp
+        assert legacy is manager.model
 
     def test_validation(self):
         with pytest.raises(ValueError):

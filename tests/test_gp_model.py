@@ -96,8 +96,25 @@ class TestPredictCov:
         X, y = small_dataset
         gp = GaussianProcess(Matern52(dim=3), noise_variance=1e-4).fit(X, y)
         _, cov = gp.predict_cov(X[:8] * 0.5)
-        np.testing.assert_allclose(cov, cov.T, atol=1e-10)
+        np.testing.assert_array_equal(cov, cov.T)  # exactly, via symmetrize
         assert np.linalg.eigvalsh(cov).min() > -1e-8
+
+    def test_symmetrize_restores_psd_sampling(self, rng):
+        # the regression symmetrize pins: ½(C + Cᵀ) + jitter must make a
+        # round-off-asymmetric covariance exactly symmetric and Cholesky-able
+        from repro.gp.model import symmetrize
+
+        A = rng.standard_normal((12, 12))
+        cov = A @ A.T
+        cov += rng.standard_normal((12, 12)) * 1e-13  # float asymmetry
+        assert not np.array_equal(cov, cov.T)
+        fixed = symmetrize(cov, jitter=1e-10)
+        np.testing.assert_array_equal(fixed, fixed.T)
+        np.linalg.cholesky(fixed)  # must not raise
+        # jitter lands only on the diagonal
+        np.testing.assert_allclose(
+            fixed - np.diag(np.full(12, 1e-10)), symmetrize(cov), atol=0
+        )
 
     def test_posterior_samples_shape(self, small_dataset, rng):
         X, y = small_dataset

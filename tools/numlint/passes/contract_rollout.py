@@ -38,6 +38,8 @@ ROLLOUT_OPT_IN_FRAGMENTS = (
     "repro/telemetry/",
     "repro/backends",
     "repro/serve/",
+    "repro/gp/surrogate",
+    "repro/gp/sparse",
 )
 
 
